@@ -1,0 +1,183 @@
+// Command dacsim regenerates the figures of the paper's evaluation
+// (Section IV) on the simulated DAC testbed and prints the series as
+// aligned tables (or CSV).
+//
+// Usage:
+//
+//	dacsim -fig all            # every figure, paper trial count
+//	dacsim -fig 7b -trials 10  # one figure
+//	dacsim -fig ablations      # the DESIGN.md ablation suite
+//	dacsim -fig 8 -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, ablations, all")
+	trials := flag.Int("trials", 10, "trials per data point (the paper averages 10)")
+	maxACs := flag.Int("max", 6, "maximum accelerator count for figures 7(a) and 7(b)")
+	jitter := flag.Float64("jitter", 0, "fabric latency jitter fraction (e.g. 0.1); 0 keeps runs exactly deterministic")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	params := repro.DefaultParams()
+	params.LatencyJitter = *jitter
+	emit := func(t *metrics.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatalf("dacsim: %v", err)
+		}
+		fmt.Println()
+	}
+
+	run7a := func() {
+		pts, err := repro.Fig7a(params, *maxACs, *trials)
+		if err != nil {
+			log.Fatalf("dacsim: figure 7(a): %v", err)
+		}
+		emit(repro.Fig7aTable(pts))
+	}
+	run7b := func() {
+		pts, err := repro.Fig7b(params, *maxACs, *trials)
+		if err != nil {
+			log.Fatalf("dacsim: figure 7(b): %v", err)
+		}
+		emit(repro.Fig7bTable(pts))
+	}
+	run8 := func() {
+		pts, err := repro.Fig8(params, []int{0, 16, 20}, *trials)
+		if err != nil {
+			log.Fatalf("dacsim: figure 8: %v", err)
+		}
+		emit(repro.Fig8Table(pts))
+	}
+	run9 := func() {
+		pts, err := repro.Fig9(params, *trials)
+		if err != nil {
+			log.Fatalf("dacsim: figure 9: %v", err)
+		}
+		emit(repro.Fig9Table(pts))
+	}
+	runAblations := func() {
+		dp, err := repro.AblationDynPriority(params, 16, 1)
+		if err != nil {
+			log.Fatalf("dacsim: dyn-priority ablation: %v", err)
+		}
+		t := &metrics.Table{
+			Title:   "Ablation: top-priority vs plain-FIFO dynamic requests (16 jobs on load) [ms]",
+			Headers: []string{"policy", "dyn_request_latency"},
+		}
+		t.AddRow("top priority (paper)", metrics.Ms(dp.TopPriority))
+		t.AddRow("plain FIFO", metrics.Ms(dp.PlainFIFO))
+		emit(t)
+
+		cg, err := repro.AblationCollectiveGet(params, 3, 1)
+		if err != nil {
+			log.Fatalf("dacsim: collective ablation: %v", err)
+		}
+		t = &metrics.Table{
+			Title:   "Ablation: collective vs individual AC_Get (3 compute nodes, 1 AC each) [ms]",
+			Headers: []string{"mode", "time_until_all_nodes_served"},
+		}
+		t.AddRow("collective (1 request)", metrics.Ms(cg.Collective))
+		t.AddRow("individual (serialized)", metrics.Ms(cg.Individual))
+		emit(t)
+
+		dv, err := repro.AblationDynamicVsStatic(params, 4)
+		if err != nil {
+			log.Fatalf("dacsim: dynamic-vs-static ablation: %v", err)
+		}
+		t = &metrics.Table{
+			Title:   "Ablation: dynamic allocation vs static-peak baseline (4 phased jobs)",
+			Headers: []string{"policy", "makespan_ms", "accelerator_seconds"},
+		}
+		t.AddRow("static peak", metrics.Ms(dv.StaticMakespan), fmt.Sprintf("%.3f", dv.StaticACSeconds))
+		t.AddRow("dynamic", metrics.Ms(dv.DynamicMakespan), fmt.Sprintf("%.3f", dv.DynamicACSeconds))
+		emit(t)
+
+		bf, err := repro.AblationBackfill(params, 16, 6)
+		if err != nil {
+			log.Fatalf("dacsim: backfill ablation: %v", err)
+		}
+		t = &metrics.Table{
+			Title:   "Ablation: EASY backfill (16 mixed jobs) [ms]",
+			Headers: []string{"backfill", "makespan"},
+		}
+		t.AddRow("on", metrics.Ms(bf.On))
+		t.AddRow("off", metrics.Ms(bf.Off))
+		emit(t)
+
+		sp, err := repro.AblationSchedulerPortability(params, 12, 6)
+		if err != nil {
+			log.Fatalf("dacsim: scheduler ablation: %v", err)
+		}
+		t = &metrics.Table{
+			Title:   "Ablation: Maui vs TORQUE basic FIFO scheduler (portability, Section V) [ms]",
+			Headers: []string{"scheduler", "workload_makespan", "dyn_request_latency"},
+		}
+		t.AddRow("maui", metrics.Ms(sp.MauiMakespan), metrics.Ms(sp.MauiDynLatency))
+		t.AddRow("pbs_sched (FIFO)", metrics.Ms(sp.FIFOMakespan), metrics.Ms(sp.FIFODynLatency))
+		emit(t)
+
+		db, err := repro.AblationDoubleBuffer(params, 8)
+		if err != nil {
+			log.Fatalf("dacsim: double-buffer ablation: %v", err)
+		}
+		t = &metrics.Table{
+			Title:   "Ablation: double buffering, 8 x 8 MiB chunks on one accelerator [ms]",
+			Headers: []string{"mode", "elapsed"},
+		}
+		t.AddRow("sequential", metrics.Ms(db.Sequential))
+		t.AddRow("double buffered", metrics.Ms(db.Overlapped))
+		emit(t)
+
+		pa, err := repro.AblationPartialAlloc(params)
+		if err != nil {
+			log.Fatalf("dacsim: partial ablation: %v", err)
+		}
+		t = &metrics.Table{
+			Title:   "Ablation: partial allocation, AC_Get(5) with 2 free",
+			Headers: []string{"policy", "granted"},
+		}
+		t.AddRow("reject when short (paper)", fmt.Sprint(pa.GrantedWithoutPartial))
+		t.AddRow("partial allocation (outlook)", fmt.Sprint(pa.GrantedWithPartial))
+		emit(t)
+	}
+
+	start := time.Now()
+	switch *fig {
+	case "7a":
+		run7a()
+	case "7b":
+		run7b()
+	case "8":
+		run8()
+	case "9":
+		run9()
+	case "ablations":
+		runAblations()
+	case "all":
+		run7a()
+		run7b()
+		run8()
+		run9()
+		runAblations()
+	default:
+		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, ablations, all)", *fig)
+	}
+	fmt.Fprintf(os.Stderr, "dacsim: done in %v of wall time\n", time.Since(start).Round(time.Millisecond))
+}

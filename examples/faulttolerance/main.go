@@ -1,0 +1,114 @@
+// Faulttolerance: the paper's outlook (Section VI) made concrete —
+// heartbeat-based failure detection, applications surviving the loss
+// of a network-attached accelerator, and malleable growth of compute
+// nodes. An accelerator host crashes mid-run: the computation API
+// surfaces a timeout, the failure detector removes the node from the
+// pool, the application re-acquires a replacement through AC_Get, and
+// finally grows its compute-node set through the malleable
+// pbs_dynget extension.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	params := repro.DefaultParams()
+	params.ComputeNodes = 3
+	params.Accelerators = 4
+	// Enable the fault-tolerance machinery (off in the calibrated
+	// defaults so the figure experiments stay untouched).
+	params.Mom.HeartbeatEvery = 50 * time.Millisecond
+	params.Server.DeadAfter = 250 * time.Millisecond
+	params.DAC.OpTimeout = 150 * time.Millisecond
+
+	err := repro.RunCluster(params, func(c *repro.Cluster, client *repro.Client) {
+		id, err := client.Submit(repro.JobSpec{
+			Name:     "survivor",
+			Owner:    "dora",
+			Nodes:    1,
+			PPN:      4,
+			ACPN:     1,
+			Walltime: time.Minute,
+			Script:   func(env *repro.JobEnv) { survivor(c, env) },
+		})
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		info, err := client.Wait(id)
+		if err != nil {
+			log.Fatalf("wait: %v", err)
+		}
+		fmt.Printf("\njob finished in state %v after %v\n", info.State, info.CompletedAt-info.StartedAt)
+
+		nodes, _ := client.Nodes()
+		for _, n := range nodes {
+			status := "up"
+			if n.Down {
+				status = "DOWN"
+			}
+			fmt.Printf("  %-4s %-11s %s\n", n.Name, n.Type, status)
+		}
+	})
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+}
+
+func survivor(c *repro.Cluster, env *repro.JobEnv) {
+	now := func() time.Duration { return c.Sim.Now().Round(time.Millisecond) }
+	ac, static, err := repro.Init(env)
+	if err != nil {
+		fmt.Printf("AC_Init: %v\n", err)
+		return
+	}
+	defer ac.Finalize()
+	victim := static[0]
+	fmt.Printf("[%8v] working on accelerator %s\n", now(), victim.Host())
+	if _, err := ac.MemAlloc(victim, 1<<20); err != nil {
+		fmt.Printf("MemAlloc: %v\n", err)
+		return
+	}
+
+	// The accelerator's host crashes.
+	c.Net.SetHostDown(victim.Host(), true)
+	fmt.Printf("[%8v] *** %s crashed ***\n", now(), victim.Host())
+	if _, err := ac.MemAlloc(victim, 1<<20); err != nil {
+		fmt.Printf("[%8v] operation failed as expected: %v\n", now(), err)
+	}
+
+	// Wait for the failure detector, then acquire a replacement.
+	c.Sim.Sleep(600 * time.Millisecond)
+	_, repl, err := ac.Get(1)
+	if err != nil {
+		fmt.Printf("replacement AC_Get: %v\n", err)
+		return
+	}
+	fmt.Printf("[%8v] replacement accelerator: %s\n", now(), repl[0].Host())
+	if _, err := ac.MemAlloc(repl[0], 1<<20); err != nil {
+		fmt.Printf("replacement MemAlloc: %v\n", err)
+		return
+	}
+	fmt.Printf("[%8v] computation resumed on %s\n", now(), repl[0].Host())
+
+	// Malleable growth: the job also asks for two more compute nodes
+	// (the Section V extension) to spread host-side work.
+	cl := repro.NewIFLClient(c.Net, env.Host, env.ServerEP)
+	grant, err := cl.DynGetNodes(env.JobID, env.Host, 2, 2)
+	if err != nil {
+		fmt.Printf("[%8v] malleable growth rejected: %v\n", now(), err)
+		return
+	}
+	fmt.Printf("[%8v] malleable growth: +%d compute nodes %v (client-id %d)\n",
+		now(), len(grant.Hosts), grant.Hosts, grant.ClientID)
+	c.Sim.Sleep(100 * time.Millisecond) // host-side work on the enlarged set
+	if err := cl.DynFree(env.JobID, grant.ClientID); err != nil {
+		fmt.Printf("DynFree: %v\n", err)
+		return
+	}
+	fmt.Printf("[%8v] released the extra compute nodes\n", now())
+}

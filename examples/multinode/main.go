@@ -1,0 +1,118 @@
+// Multinode: a job spanning three compute nodes whose processes
+// acquire additional accelerators collectively — the aggregated
+// AC_Get of Section III-D. One compute node gathers the per-node
+// demands, sends a single pbs_dynget for the total, and either every
+// node receives its share or none does; the set carries one client-id
+// and is released collectively. The example contrasts this with the
+// serialized individual requests that the server would otherwise
+// process one at a time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	params := repro.DefaultParams()
+	params.ComputeNodes = 3
+	params.Accelerators = 9 // 3 static + 6 for dynamic growth
+
+	err := repro.RunCluster(params, func(c *repro.Cluster, client *repro.Client) {
+		id, err := client.Submit(repro.JobSpec{
+			Name:     "multinode",
+			Owner:    "carol",
+			Nodes:    3,
+			PPN:      4,
+			ACPN:     1,
+			Walltime: time.Minute,
+			Script:   func(env *repro.JobEnv) { nodeProgram(c, env) },
+		})
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		info, err := client.Wait(id)
+		if err != nil {
+			log.Fatalf("wait: %v", err)
+		}
+		fmt.Printf("\njob %s: %d dynamic requests recorded at the server\n", id, len(info.DynRecords))
+		for _, rec := range info.DynRecords {
+			fmt.Printf("  from %s for %d accelerator(s): %s in %v\n",
+				rec.CN, rec.Count, rec.State, (rec.RepliedAt - rec.ArrivedAt).Round(time.Millisecond))
+		}
+	})
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+}
+
+func nodeProgram(c *repro.Cluster, env *repro.JobEnv) {
+	now := func() time.Duration { return c.Sim.Now().Round(time.Millisecond) }
+	ac, static, err := repro.Init(env)
+	if err != nil {
+		fmt.Printf("AC_Init on %s: %v\n", env.Host, err)
+		return
+	}
+	defer ac.Finalize()
+	fmt.Printf("[%8v] %s (rank %d): initialized with %d static accelerator(s)\n",
+		now(), env.Host, env.Rank, len(static))
+
+	// Collective growth: rank 0 wants 1 extra, the others 2 each.
+	want := 2
+	if env.Rank == 0 {
+		want = 1
+	}
+	clientID, extra, err := ac.CollectiveGet(want)
+	if err != nil {
+		fmt.Printf("[%8v] %s: collective AC_Get failed: %v\n", now(), env.Host, err)
+		return
+	}
+	fmt.Printf("[%8v] %s: collective AC_Get -> client-id %d, %d accelerator(s): %v\n",
+		now(), env.Host, clientID, len(extra), hostsOf(extra))
+
+	// Use the whole enlarged set: one dgemm per accelerator.
+	const n = 64
+	a := repro.EncodeFloat64s(identity(n))
+	for _, h := range append(append([]*repro.Accel(nil), static...), extra...) {
+		ap, err := ac.MemAlloc(h, int64(len(a)))
+		if err != nil {
+			fmt.Printf("MemAlloc on %s: %v\n", h.Host(), err)
+			return
+		}
+		bp, _ := ac.MemAlloc(h, int64(len(a)))
+		cp, _ := ac.MemAlloc(h, int64(len(a)))
+		ac.MemCpyToDevice(h, ap, 0, a)
+		ac.MemCpyToDevice(h, bp, 0, a)
+		if err := ac.KernelRun(h, "dgemm", [3]int{n / 16}, [3]int{16}, cp, ap, bp, n); err != nil {
+			fmt.Printf("dgemm on %s: %v\n", h.Host(), err)
+			return
+		}
+	}
+	fmt.Printf("[%8v] %s: dgemm done on %d accelerators\n", now(), env.Host, len(static)+len(extra))
+
+	// Collectively obtained sets are released collectively.
+	if err := ac.CollectiveFree(clientID); err != nil {
+		fmt.Printf("CollectiveFree on %s: %v\n", env.Host, err)
+		return
+	}
+	fmt.Printf("[%8v] %s: released client-id %d\n", now(), env.Host, clientID)
+}
+
+func identity(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		m[i*n+i] = 1
+	}
+	return m
+}
+
+func hostsOf(hs []*repro.Accel) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = h.Host()
+	}
+	return out
+}

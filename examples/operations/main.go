@@ -1,0 +1,106 @@
+// Operations: a day-in-the-life view of the cluster for an operator.
+// A workload trace (Standard Workload Format, the Parallel Workloads
+// Archive format) is replayed against the simulated DAC cluster
+// alongside a phase-structured DAC application; afterwards the
+// example prints the job timeline (Gantt), the TORQUE-style
+// accounting log, per-node utilization, and the energy bill under
+// both allocation policies' power draw.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/pbs"
+)
+
+// A small SWF fragment (job#, submit, wait, runtime, procs, ... ) —
+// the format real archives use; times in seconds, scaled 100x down
+// for the simulation.
+const swfFragment = `
+; Example trace fragment
+ 1   0  -1  40   8 -1 -1  8  60 -1 1 3 1 -1 1 1 -1 -1
+ 2  10  -1  20   2 -1 -1  2  30 -1 1 4 1 -1 1 1 -1 -1
+ 3  15  -1  25  16 -1 -1 16  40 -1 1 3 1 -1 1 1 -1 -1
+ 4  30  -1  10   2 -1 -1  2  15 -1 1 5 1 -1 1 1 -1 -1
+ 5  35  -1  30   4 -1 -1  4  45 -1 1 4 1 -1 1 1 -1 -1
+`
+
+func main() {
+	params := repro.DefaultParams()
+	params.ComputeNodes = 2
+	params.Accelerators = 3
+
+	entries, err := repro.ParseSWF(strings.NewReader(swfFragment), params.CoresPerNode)
+	if err != nil {
+		log.Fatalf("parse swf: %v", err)
+	}
+	entries = repro.ScaleTrace(entries, 0.01) // 40s of trace -> 400ms of simulation
+
+	err = repro.RunCluster(params, func(c *repro.Cluster, client *repro.Client) {
+		// One evolving DAC application rides along with the batch
+		// workload, growing by two accelerators in its middle phase.
+		phases := []repro.Phase{
+			{ExtraACs: 0, Compute: 80 * time.Millisecond},
+			{ExtraACs: 2, Compute: 120 * time.Millisecond, Stretch: 60 * time.Millisecond},
+			{ExtraACs: 0, Compute: 80 * time.Millisecond},
+		}
+		dacJob, err := client.Submit(repro.JobSpec{
+			Name: "dac-solver", Owner: "science", Nodes: 1, PPN: 2, ACPN: 1,
+			Walltime: time.Minute, Script: repro.PhasedApp(c.Sim, phases, nil),
+		})
+		if err != nil {
+			log.Fatalf("submit dac job: %v", err)
+		}
+
+		ids, err := repro.ReplayTrace(c.Sim, client, entries)
+		if err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		ids = append(ids, dacJob)
+
+		g := metrics.Gantt{Title: "timeline ('.' queued, '#' running)", Width: 58}
+		var last time.Duration
+		for _, id := range ids {
+			info, err := client.Wait(id)
+			if err != nil {
+				log.Fatalf("wait %s: %v", id, err)
+			}
+			g.Add(info.Spec.Name, info.SubmittedAt, info.StartedAt, info.CompletedAt)
+			if info.CompletedAt > last {
+				last = info.CompletedAt
+			}
+		}
+		g.Render(os.Stdout)
+
+		fmt.Println("\naccounting log (TORQUE format):")
+		recs := c.Server.AccountingLog()
+		for _, r := range recs {
+			fmt.Printf("  %s\n", r)
+		}
+
+		fmt.Println("\nnode utilization:")
+		t := &metrics.Table{Headers: []string{"node", "type", "busy_core_s", "utilization"}}
+		for _, u := range c.Server.Usage() {
+			t.AddRow(u.Name, u.Type.String(),
+				fmt.Sprintf("%.3f", u.BusyCoreSeconds),
+				fmt.Sprintf("%.1f%%", 100*u.Utilization(last)))
+		}
+		t.Render(os.Stdout)
+
+		cu, au := c.Server.ClusterUtilization(last)
+		rep := c.Server.Energy(pbs.DefaultPowerModel(), last)
+		fmt.Printf("\ncluster: compute %.1f%%, accelerators %.1f%% utilized over %v\n",
+			100*cu, 100*au, last.Round(time.Millisecond))
+		fmt.Printf("energy: compute %.2f kJ + accelerators %.2f kJ = %.2f kJ\n",
+			rep.ComputeJoules/1000, rep.AccelJoules/1000, rep.Total()/1000)
+	})
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+}

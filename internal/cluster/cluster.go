@@ -1,0 +1,221 @@
+// Package cluster assembles the simulated DAC testbed: the fabric,
+// the MPI runtime, the DAC context with its GPU devices, the extended
+// TORQUE server and moms, and the Maui scheduler — the counterpart of
+// the paper's 8-node evaluation platform (one head node running
+// pbs_server and Maui, seven nodes used as compute nodes or
+// network-attached accelerators).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dac"
+	"repro/internal/maui"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// Params configures the testbed's shape and its calibrated cost
+// model. The defaults are tuned so the four evaluation figures of the
+// paper reproduce in shape and sub-second magnitude; every knob is a
+// single additive latency, so the calibration is transparent.
+type Params struct {
+	// Shape.
+	ComputeNodes int
+	Accelerators int
+	CoresPerNode int
+
+	// Fabric.
+	NetLatency      time.Duration
+	NetBandwidthBps float64
+	PipelineChunk   int
+	// LatencyJitter adds ±fraction noise to transfer times; Seed
+	// selects the reproducible noise stream. With jitter the paper's
+	// 10-trial averaging becomes meaningful (distinct seeds per
+	// trial); zero keeps the simulation exactly deterministic.
+	LatencyJitter float64
+	Seed          uint64
+
+	// Daemons and policies.
+	Server pbs.ServerParams
+	Mom    pbs.MomParams
+	Maui   maui.Params
+	MPI    mpi.Config
+	DAC    dac.Params
+
+	// MakeScheduler, when non-nil, replaces the Maui scheduler with a
+	// custom implementation (e.g. TORQUE's basic FIFO pbs_sched from
+	// package fifosched) — the paper's portability claim that any
+	// scheduler capable of dynamic allocation integrates with the
+	// extended TORQUE (Section V).
+	MakeScheduler func(net *netsim.Network, serverEP string) SchedulerDaemon
+}
+
+// SchedulerDaemon is what the cluster needs from a scheduler: a
+// fabric endpoint for kicks and an actor to start.
+type SchedulerDaemon interface {
+	Start()
+	Endpoint() string
+}
+
+// Default returns the calibrated testbed configuration: 1 compute
+// node and 6 accelerators (the shape of Figures 7(a) and 7(b));
+// experiments needing more compute nodes override the shape.
+func Default() Params {
+	mp := maui.DefaultParams()
+	mp.CycleInterval = time.Second
+	// The fixed cycle cost (queue retrieval, priority setup) and the
+	// per-request cost drive the batch-system share of Figure 7(b)
+	// and the load-dependent waiting of Figure 8.
+	mp.CycleOverhead = 150 * time.Millisecond
+	mp.PerJobCost = 25 * time.Millisecond
+	mp.DynPerReqCost = 25 * time.Millisecond
+	return Params{
+		ComputeNodes: 1,
+		Accelerators: 6,
+		CoresPerNode: 8,
+
+		NetLatency:      200 * time.Microsecond,
+		NetBandwidthBps: 1.25e9, // ~10 Gb/s class interconnect
+		PipelineChunk:   1 << 20,
+
+		Server: pbs.ServerParams{Processing: 3 * time.Millisecond},
+		Mom: pbs.MomParams{
+			JoinCost:    4 * time.Millisecond,
+			DynJoinCost: 35 * time.Millisecond,
+			StartCost:   5 * time.Millisecond,
+		},
+		Maui: mp,
+		MPI: mpi.Config{
+			ProcStartup:     110 * time.Millisecond,
+			ConnectOverhead: 8 * time.Millisecond,
+			MergeOverhead:   6 * time.Millisecond,
+			SpawnOverhead:   10 * time.Millisecond,
+			ControlBytes:    256,
+		},
+		DAC: dac.DefaultParams(),
+	}
+}
+
+// Cluster is a fully wired testbed. Create with New, then Start it
+// inside a simulation actor; Close tears the fabric down so daemon
+// actors exit.
+type Cluster struct {
+	Params Params
+	Sim    *sim.Simulation
+	Net    *netsim.Network
+	MPI    *mpi.Runtime
+	DAC    *dac.Context
+	Server *pbs.Server
+	// Sched is the Maui scheduler (nil when MakeScheduler installed a
+	// custom one); Scheduler is whichever daemon is active.
+	Sched     *maui.Scheduler
+	Scheduler SchedulerDaemon
+	Moms      map[string]*pbs.Mom
+
+	cns []string
+	acs []string
+}
+
+// CNName returns the i-th compute node's host name.
+func CNName(i int) string { return fmt.Sprintf("cn%d", i) }
+
+// ACName returns the i-th accelerator's host name.
+func ACName(i int) string { return fmt.Sprintf("ac%d", i) }
+
+// New builds a testbed on a fresh simulation.
+func New(s *sim.Simulation, p Params) *Cluster {
+	net := netsim.New(s, netsim.LinkParams{
+		Latency:       p.NetLatency,
+		BandwidthBps:  p.NetBandwidthBps,
+		PipelineChunk: p.PipelineChunk,
+		JitterFrac:    p.LatencyJitter,
+	})
+	if p.Seed != 0 {
+		net.Seed(p.Seed)
+	}
+	rt := mpi.NewRuntime(net, p.MPI)
+	dacParams := p.DAC
+	dacParams.JitterFrac = p.LatencyJitter
+	dacParams.Seed = p.Seed
+	ctx := dac.NewContext(net, rt, dacParams)
+	server := pbs.NewServer(net, p.Server)
+	var sched *maui.Scheduler
+	var daemon SchedulerDaemon
+	if p.MakeScheduler != nil {
+		daemon = p.MakeScheduler(net, pbs.ServerEndpoint)
+	} else {
+		sched = maui.New(net, pbs.ServerEndpoint, p.Maui)
+		daemon = sched
+	}
+	server.SetScheduler(daemon.Endpoint())
+
+	c := &Cluster{
+		Params:    p,
+		Sim:       s,
+		Net:       net,
+		MPI:       rt,
+		DAC:       ctx,
+		Server:    server,
+		Sched:     sched,
+		Scheduler: daemon,
+		Moms:      make(map[string]*pbs.Mom),
+	}
+	for i := 0; i < p.ComputeNodes; i++ {
+		name := CNName(i)
+		c.cns = append(c.cns, name)
+		server.AddNode(name, pbs.ComputeNode, p.CoresPerNode)
+		m := pbs.NewMom(net, name, p.Mom)
+		m.Cluster = ctx
+		m.StartDaemons = ctx.StartDaemons
+		c.Moms[name] = m
+	}
+	for i := 0; i < p.Accelerators; i++ {
+		name := ACName(i)
+		c.acs = append(c.acs, name)
+		server.AddNode(name, pbs.AcceleratorNode, 1)
+		m := pbs.NewMom(net, name, p.Mom)
+		m.Cluster = ctx
+		c.Moms[name] = m
+		ctx.AddDevice(name)
+	}
+	return c
+}
+
+// ComputeNodeNames returns the compute node host names.
+func (c *Cluster) ComputeNodeNames() []string { return append([]string(nil), c.cns...) }
+
+// AcceleratorNames returns the accelerator host names.
+func (c *Cluster) AcceleratorNames() []string { return append([]string(nil), c.acs...) }
+
+// Start spawns every daemon actor. Call from inside the simulation.
+func (c *Cluster) Start() {
+	c.Server.Start()
+	for _, m := range c.Moms {
+		m.Start()
+	}
+	c.Scheduler.Start()
+}
+
+// Client creates an IFL client (the paper's front-end host).
+func (c *Cluster) Client(name string) *pbs.Client {
+	return pbs.NewClient(c.Net, name, pbs.ServerEndpoint)
+}
+
+// Close tears down the fabric; all daemon actors exit.
+func (c *Cluster) Close() { c.Net.Close() }
+
+// Run is a convenience wrapper: build a simulation, start the
+// cluster, run fn with an IFL client, and tear down.
+func Run(p Params, fn func(c *Cluster, client *pbs.Client)) error {
+	s := sim.New()
+	cl := New(s, p)
+	return s.Run(func() {
+		defer cl.Close()
+		cl.Start()
+		fn(cl, cl.Client("front"))
+	})
+}

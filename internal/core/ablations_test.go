@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestAblationDynPriority(t *testing.T) {
+	res, err := AblationDynPriority(cluster.Default(), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopPriority >= res.PlainFIFO {
+		t.Errorf("top-priority %v should beat plain FIFO %v under backlog", res.TopPriority, res.PlainFIFO)
+	}
+}
+
+func TestAblationCollectiveGet(t *testing.T) {
+	res, err := AblationCollectiveGet(cluster.Default(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collective <= 0 || res.Individual <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// One aggregated request avoids the server's serial processing of
+	// three separate requests.
+	if res.Collective >= res.Individual {
+		t.Errorf("collective %v should beat individual %v", res.Collective, res.Individual)
+	}
+}
+
+func TestAblationDynamicVsStatic(t *testing.T) {
+	res, err := AblationDynamicVsStatic(cluster.Default(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DynamicACSeconds <= 0 || res.StaticACSeconds <= 0 {
+		t.Fatalf("degenerate: %+v", res)
+	}
+	// Reserving the peak for the whole runtime must cost more
+	// accelerator-seconds than growing only during the demanding
+	// phase.
+	if res.DynamicACSeconds >= res.StaticACSeconds {
+		t.Errorf("dynamic AC-seconds %v should be below static %v", res.DynamicACSeconds, res.StaticACSeconds)
+	}
+	// And the static jobs serialize on the accelerator pool, so the
+	// dynamic makespan should not be worse.
+	if res.DynamicMakespan > res.StaticMakespan {
+		t.Errorf("dynamic makespan %v exceeds static %v", res.DynamicMakespan, res.StaticMakespan)
+	}
+	// A shorter makespan with fewer reserved accelerators also costs
+	// less energy under the default power model.
+	if res.DynamicJoules <= 0 || res.StaticJoules <= 0 {
+		t.Fatalf("energy not computed: %+v", res)
+	}
+	if res.DynamicJoules >= res.StaticJoules {
+		t.Errorf("dynamic energy %v J not below static %v J", res.DynamicJoules, res.StaticJoules)
+	}
+}
+
+func TestAblationBackfill(t *testing.T) {
+	res, err := AblationBackfill(cluster.Default(), 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.On <= 0 || res.Off <= 0 {
+		t.Fatalf("degenerate: %+v", res)
+	}
+	if res.On > res.Off {
+		t.Errorf("backfill on (%v) should not be slower than off (%v)", res.On, res.Off)
+	}
+}
+
+func TestAblationSchedulerPortability(t *testing.T) {
+	res, err := AblationSchedulerPortability(cluster.Default(), 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MauiMakespan <= 0 || res.FIFOMakespan <= 0 {
+		t.Fatalf("degenerate: %+v", res)
+	}
+	// Maui (backfill + priorities) should not be slower than strict
+	// FIFO on a mixed workload.
+	if res.MauiMakespan > res.FIFOMakespan {
+		t.Errorf("maui %v slower than fifo %v", res.MauiMakespan, res.FIFOMakespan)
+	}
+	// Dynamic allocation works under both schedulers and in the same
+	// latency class.
+	if res.MauiDynLatency <= 0 || res.FIFODynLatency <= 0 {
+		t.Fatalf("dynamic request failed under a scheduler: %+v", res)
+	}
+	ratio := float64(res.FIFODynLatency) / float64(res.MauiDynLatency)
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("dyn latencies diverge unexpectedly: maui=%v fifo=%v", res.MauiDynLatency, res.FIFODynLatency)
+	}
+}
+
+func TestAblationDoubleBuffer(t *testing.T) {
+	res, err := AblationDoubleBuffer(cluster.Default(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overlapped >= res.Sequential {
+		t.Errorf("overlapped %v not faster than sequential %v", res.Overlapped, res.Sequential)
+	}
+	// Expect roughly (chunks-1) transfer times (~6.7ms each) saved.
+	if saved := res.Sequential - res.Overlapped; saved < 30*time.Millisecond {
+		t.Errorf("saved only %v", saved)
+	}
+}
+
+func TestAblationPartialAlloc(t *testing.T) {
+	res, err := AblationPartialAlloc(cluster.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GrantedWithPartial != 2 {
+		t.Errorf("partial grant = %d, want 2", res.GrantedWithPartial)
+	}
+	if res.GrantedWithoutPartial != 0 || !res.RejectedWithout {
+		t.Errorf("without partial: granted=%d rejected=%v", res.GrantedWithoutPartial, res.RejectedWithout)
+	}
+}

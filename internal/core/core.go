@@ -1,0 +1,429 @@
+// Package core assembles the paper's contribution — the dynamic
+// batch system for network-attached accelerator clusters — into
+// experiment drivers that regenerate every measured figure of the
+// evaluation (Section IV): Figure 7(a) static AC_Init decomposition,
+// Figure 7(b) dynamic request decomposition, Figure 8 allocation
+// under scheduler load, and Figure 9 concurrent dynamic requests.
+// The ablations in ablations.go exercise the design choices the
+// paper discusses but does not measure.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dac"
+	"repro/internal/metrics"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// signal is a sim-aware one-shot event for coordinating experiment
+// actors (main vs job scripts).
+type signal struct {
+	mu   sync.Mutex
+	gate *sim.Gate
+	set  bool
+}
+
+func newSignal(s *sim.Simulation, name string) *signal {
+	return &signal{gate: s.NewGate(name)}
+}
+
+func (sg *signal) fire() {
+	sg.mu.Lock()
+	sg.set = true
+	sg.mu.Unlock()
+	sg.gate.Broadcast()
+}
+
+func (sg *signal) wait() {
+	sg.mu.Lock()
+	for !sg.set {
+		sg.gate.Wait(&sg.mu)
+	}
+	sg.mu.Unlock()
+}
+
+// Fig7aPoint is one bar of Figure 7(a): AC_Init for x statically
+// allocated accelerators, split into waiting and connect time.
+type Fig7aPoint struct {
+	Accelerators int
+	Waiting      time.Duration
+	Connect      time.Duration
+	Total        time.Duration
+}
+
+// Fig7a measures AC_Init completion for 1..maxACs statically
+// allocated accelerators (trials per point, averaged).
+func Fig7a(p cluster.Params, maxACs, trials int) ([]Fig7aPoint, error) {
+	var out []Fig7aPoint
+	for x := 1; x <= maxACs; x++ {
+		var wait, conn metrics.Sample
+		for trial := 0; trial < trials; trial++ {
+			var stats dac.Stats
+			var mu sync.Mutex
+			tp := p
+			tp.Seed = uint64(trial + 1)
+			err := cluster.Run(tp, func(c *cluster.Cluster, client *pbs.Client) {
+				id, err := client.Submit(pbs.JobSpec{
+					Name: "fig7a", Owner: "exp", Nodes: 1, PPN: 1, ACPN: x, Walltime: time.Minute,
+					Script: func(env *pbs.JobEnv) {
+						ac, _, err := dac.Init(env)
+						if err != nil {
+							return
+						}
+						defer ac.Finalize()
+						mu.Lock()
+						stats = ac.Stats()
+						mu.Unlock()
+					},
+				})
+				if err != nil {
+					return
+				}
+				client.Wait(id)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: Fig7a x=%d: %w", x, err)
+			}
+			mu.Lock()
+			wait.Add(stats.InitWaiting)
+			conn.Add(stats.InitConnect)
+			mu.Unlock()
+		}
+		out = append(out, Fig7aPoint{
+			Accelerators: x,
+			Waiting:      wait.Mean(),
+			Connect:      conn.Mean(),
+			Total:        wait.Mean() + conn.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// Fig7bPoint is one bar of Figure 7(b): a dynamic request for y
+// accelerators, split into the batch-system share and the
+// resource-management-library (MPI) share.
+type Fig7bPoint struct {
+	Accelerators int
+	Batch        time.Duration
+	MPI          time.Duration
+	Total        time.Duration
+}
+
+// Fig7b measures dynamic allocation of 1..maxACs accelerators on an
+// otherwise idle system.
+func Fig7b(p cluster.Params, maxACs, trials int) ([]Fig7bPoint, error) {
+	var out []Fig7bPoint
+	for y := 1; y <= maxACs; y++ {
+		var batch, mpiT metrics.Sample
+		for trial := 0; trial < trials; trial++ {
+			var stats dac.Stats
+			var mu sync.Mutex
+			tp := p
+			tp.Seed = uint64(trial + 1)
+			err := cluster.Run(tp, func(c *cluster.Cluster, client *pbs.Client) {
+				id, err := client.Submit(pbs.JobSpec{
+					Name: "fig7b", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 0, Walltime: time.Minute,
+					Script: func(env *pbs.JobEnv) {
+						ac, _, err := dac.Init(env)
+						if err != nil {
+							return
+						}
+						defer ac.Finalize()
+						clientID, _, err := ac.Get(y)
+						if err == nil {
+							ac.Free(clientID)
+						}
+						mu.Lock()
+						stats = ac.Stats()
+						mu.Unlock()
+					},
+				})
+				if err != nil {
+					return
+				}
+				client.Wait(id)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: Fig7b y=%d: %w", y, err)
+			}
+			mu.Lock()
+			if len(stats.Gets) == 1 && !stats.Gets[0].Rejected {
+				batch.Add(stats.Gets[0].Batch)
+				mpiT.Add(stats.Gets[0].MPI)
+			}
+			mu.Unlock()
+		}
+		if batch.N() == 0 {
+			return nil, fmt.Errorf("core: Fig7b y=%d: no successful dynamic request", y)
+		}
+		out = append(out, Fig7bPoint{
+			Accelerators: y,
+			Batch:        batch.Mean(),
+			MPI:          mpiT.Mean(),
+			Total:        batch.Mean() + mpiT.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// Fig8Point is one bar of Figure 8: dynamic allocation of one
+// accelerator while the scheduler is busy with Load other requests.
+type Fig8Point struct {
+	Load       int
+	SchedOther time.Duration // waiting caused by Maui scheduling other requests
+	Service    time.Duration // servicing the dynamic request itself
+	Total      time.Duration
+}
+
+// Fig8 measures the dynamic allocation latency under scheduler load.
+// The background jobs request more compute nodes than exist, so they
+// occupy scheduling cycles without ever touching the DAC job's
+// resources, as the paper's setup requires.
+func Fig8(p cluster.Params, loads []int, trials int) ([]Fig8Point, error) {
+	p.ComputeNodes = 2
+	p.Accelerators = 2
+	measure := func(load int) (time.Duration, error) {
+		var total metrics.Sample
+		for trial := 0; trial < trials; trial++ {
+			var batch time.Duration
+			var mu sync.Mutex
+			s := sim.New()
+			tp := p
+			tp.Seed = uint64(trial + 1)
+			c := cluster.New(s, tp)
+			ready := newSignal(s, "ready")
+			goahead := newSignal(s, "go")
+			err := s.Run(func() {
+				defer c.Close()
+				c.Start()
+				client := c.Client("front")
+				id, err := client.Submit(pbs.JobSpec{
+					Name: "fig8", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Minute,
+					Script: func(env *pbs.JobEnv) {
+						ac, _, err := dac.Init(env)
+						if err != nil {
+							return
+						}
+						defer ac.Finalize()
+						ready.fire()
+						goahead.wait()
+						clientID, _, err := ac.Get(1)
+						if err == nil {
+							ac.Free(clientID)
+						}
+						st := ac.Stats()
+						mu.Lock()
+						if len(st.Gets) > 0 {
+							batch = st.Gets[0].Batch
+						}
+						mu.Unlock()
+					},
+				})
+				if err != nil {
+					return
+				}
+				ready.wait()
+				if load > 0 {
+					// Load the scheduler, wait until a cycle that
+					// examines the whole backlog is in flight, then
+					// release the dynamic request into it — the
+					// paper's "request arrives while the scheduler is
+					// already working on the earlier requests".
+					c0 := c.Sched.Stats().Cycles
+					for _, spec := range workload.Backlog(s, load, p.ComputeNodes+1) {
+						if _, err := client.Submit(spec); err != nil {
+							return
+						}
+					}
+					for c.Sched.Stats().Cycles < c0+2 {
+						s.Sleep(5 * time.Millisecond)
+					}
+					s.Sleep(10 * time.Millisecond)
+				}
+				goahead.fire()
+				client.Wait(id)
+			})
+			if err != nil {
+				return 0, err
+			}
+			mu.Lock()
+			if batch > 0 {
+				total.Add(batch)
+			}
+			mu.Unlock()
+		}
+		if total.N() == 0 {
+			return 0, fmt.Errorf("core: Fig8 load measurement produced no data")
+		}
+		return total.Mean(), nil
+	}
+
+	base, err := measure(0)
+	if err != nil {
+		return nil, fmt.Errorf("core: Fig8 baseline: %w", err)
+	}
+	var out []Fig8Point
+	for _, load := range loads {
+		tot := base
+		if load != 0 {
+			tot, err = measure(load)
+			if err != nil {
+				return nil, fmt.Errorf("core: Fig8 load=%d: %w", load, err)
+			}
+		}
+		sched := tot - base
+		if sched < 0 {
+			sched = 0
+		}
+		out = append(out, Fig8Point{Load: load, SchedOther: sched, Service: base, Total: tot})
+	}
+	return out, nil
+}
+
+// Fig9Point is one bar of Figure 9: the dynamic allocation time seen
+// by one of three compute nodes requesting simultaneously.
+type Fig9Point struct {
+	Node  string
+	Total time.Duration
+}
+
+// Fig9 has three distinct jobs (compute nodes A, B, C) issue one
+// dynamic request each at the same time; the server's serial
+// processing of dynamic requests makes later arrivals wait. Totals
+// exclude the MPI operations, as in the paper.
+func Fig9(p cluster.Params, trials int) ([]Fig9Point, error) {
+	p.ComputeNodes = 3
+	p.Accelerators = 6
+	samples := make([]metrics.Sample, 3)
+	for trial := 0; trial < trials; trial++ {
+		batches := make([]time.Duration, 3)
+		var mu sync.Mutex
+		s := sim.New()
+		tp := p
+		tp.Seed = uint64(trial + 1)
+		c := cluster.New(s, tp)
+		goahead := newSignal(s, "go")
+		readies := make([]*signal, 3)
+		for i := range readies {
+			readies[i] = newSignal(s, fmt.Sprintf("ready%d", i))
+		}
+		err := s.Run(func() {
+			defer c.Close()
+			c.Start()
+			client := c.Client("front")
+			var ids []string
+			for i := 0; i < 3; i++ {
+				i := i
+				id, err := client.Submit(pbs.JobSpec{
+					Name: fmt.Sprintf("fig9-%c", 'A'+i), Owner: "exp",
+					Nodes: 1, PPN: p.CoresPerNode, ACPN: 1, Walltime: time.Minute,
+					Script: func(env *pbs.JobEnv) {
+						ac, _, err := dac.Init(env)
+						if err != nil {
+							return
+						}
+						defer ac.Finalize()
+						readies[i].fire()
+						goahead.wait()
+						// Deterministic arrival order A < B < C.
+						s.Sleep(time.Duration(i) * time.Microsecond)
+						clientID, _, err := ac.Get(1)
+						if err == nil {
+							ac.Free(clientID)
+						}
+						st := ac.Stats()
+						mu.Lock()
+						if len(st.Gets) > 0 {
+							batches[i] = st.Gets[0].Batch
+						}
+						mu.Unlock()
+					},
+				})
+				if err != nil {
+					return
+				}
+				ids = append(ids, id)
+			}
+			for _, r := range readies {
+				r.wait()
+			}
+			goahead.fire()
+			for _, id := range ids {
+				client.Wait(id)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: Fig9: %w", err)
+		}
+		mu.Lock()
+		for i, b := range batches {
+			if b > 0 {
+				samples[i].Add(b)
+			}
+		}
+		mu.Unlock()
+	}
+	out := make([]Fig9Point, 3)
+	for i := range out {
+		out[i] = Fig9Point{Node: string(rune('A' + i)), Total: samples[i].Mean()}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out, nil
+}
+
+// --- table renderers ---
+
+// Fig7aTable renders Figure 7(a)'s series.
+func Fig7aTable(points []Fig7aPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 7(a): time for completion of AC_Init() [ms]",
+		Headers: []string{"accelerators", "waiting", "connect", "total"},
+	}
+	for _, pt := range points {
+		t.AddRow(fmt.Sprint(pt.Accelerators), metrics.Ms(pt.Waiting), metrics.Ms(pt.Connect), metrics.Ms(pt.Total))
+	}
+	return t
+}
+
+// Fig7bTable renders Figure 7(b)'s series.
+func Fig7bTable(points []Fig7bPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 7(b): time for completion of a dynamic request [ms]",
+		Headers: []string{"accelerators", "batch_system", "rm_library", "total"},
+	}
+	for _, pt := range points {
+		t.AddRow(fmt.Sprint(pt.Accelerators), metrics.Ms(pt.Batch), metrics.Ms(pt.MPI), metrics.Ms(pt.Total))
+	}
+	return t
+}
+
+// Fig8Table renders Figure 8's series.
+func Fig8Table(points []Fig8Point) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 8: dynamic allocation of one accelerator under load [ms]",
+		Headers: []string{"jobs_on_load", "maui_other_requests", "service_dynamic", "total"},
+	}
+	for _, pt := range points {
+		t.AddRow(fmt.Sprint(pt.Load), metrics.Ms(pt.SchedOther), metrics.Ms(pt.Service), metrics.Ms(pt.Total))
+	}
+	return t
+}
+
+// Fig9Table renders Figure 9's series.
+func Fig9Table(points []Fig9Point) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 9: consecutive dynamic requests from three compute nodes [ms]",
+		Headers: []string{"compute_node", "time_for_dynamic_allocation"},
+	}
+	for _, pt := range points {
+		t.AddRow(pt.Node, metrics.Ms(pt.Total))
+	}
+	return t
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dac"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// TestFullSystemScenario is the capstone integration test: on one
+// cluster it combines static allocation, dynamic growth and release,
+// malleable compute-node growth, an accelerator failure survived by
+// the application, a head-node restart under live jobs, and a final
+// invariant check over accounting and node state.
+func TestFullSystemScenario(t *testing.T) {
+	p := cluster.Default()
+	p.ComputeNodes = 3
+	p.Accelerators = 5
+	p.Mom.HeartbeatEvery = 30 * time.Millisecond
+	p.Server.DeadAfter = 150 * time.Millisecond
+	p.DAC.OpTimeout = 120 * time.Millisecond
+	p.Maui.CycleInterval = 100 * time.Millisecond
+
+	s := sim.New()
+	s.SetDeadline(2 * time.Minute) // runaway guard
+	c := cluster.New(s, p)
+
+	var mu sync.Mutex
+	var appLog []string
+	note := func(format string, args ...any) {
+		mu.Lock()
+		appLog = append(appLog, format)
+		mu.Unlock()
+		_ = args
+	}
+
+	restartPoint := newSignal(s, "restart-point")
+	err := s.Run(func() {
+		defer c.Close()
+		c.Start()
+		client := c.Client("front")
+
+		// Phase A: a DAC job that lives through everything below.
+		survivor, err := client.Submit(pbs.JobSpec{
+			Name: "survivor", Owner: "alice", Nodes: 1, PPN: 2, ACPN: 1, Walltime: time.Minute,
+			Script: func(env *pbs.JobEnv) {
+				ac, hs, err := dac.Init(env)
+				if err != nil {
+					t.Errorf("Init: %v", err)
+					return
+				}
+				defer ac.Finalize()
+				note("init")
+
+				// Dynamic growth and use.
+				setID, extra, err := ac.Get(2)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				for _, h := range append(hs, extra...) {
+					if _, err := ac.MemAlloc(h, 1024); err != nil {
+						t.Errorf("MemAlloc on %s: %v", h.Host(), err)
+						return
+					}
+				}
+				note("grew")
+
+				// The static accelerator dies; ops fail; app continues
+				// on the dynamic pair.
+				c.Net.SetHostDown(hs[0].Host(), true)
+				if _, err := ac.MemAlloc(hs[0], 64); err == nil {
+					t.Error("op on dead accelerator should fail")
+				}
+				if _, err := ac.MemAlloc(extra[0], 64); err != nil {
+					t.Errorf("surviving accelerator broken: %v", err)
+				}
+				note("survived-ac-failure")
+
+				// Wait out the failure detector, then release the set.
+				c.Sim.Sleep(400 * time.Millisecond)
+				if err := ac.Free(setID); err != nil {
+					t.Errorf("Free: %v", err)
+				}
+
+				// Malleable growth of compute nodes.
+				cl := pbs.NewClient(c.Net, env.Host, env.ServerEP)
+				grant, err := cl.DynGetNodes(env.JobID, env.Host, 1, 2)
+				if err != nil {
+					t.Errorf("DynGetNodes: %v", err)
+					return
+				}
+				if err := cl.DynFree(env.JobID, grant.ClientID); err != nil {
+					t.Errorf("DynFree nodes: %v", err)
+				}
+				note("malleable")
+				// The head node restarts while this job keeps
+				// computing.
+				restartPoint.fire()
+				c.Sim.Sleep(300 * time.Millisecond)
+			},
+		})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+
+		// Phase B: while that still runs, restart the head node.
+		restartPoint.wait()
+		snap := c.Server.Checkpoint()
+		c.Server.Stop()
+		s.Sleep(20 * time.Millisecond)
+		replacement := pbs.NewServer(c.Net, p.Server)
+		replacement.SetScheduler(c.Sched.Endpoint())
+		if err := replacement.Restore(snap); err != nil {
+			t.Errorf("Restore: %v", err)
+			return
+		}
+		replacement.Start()
+
+		// Phase C: batch jobs keep flowing through the new server.
+		var ids []string
+		for i := 0; i < 3; i++ {
+			id, err := client.Submit(pbs.JobSpec{
+				Name: "batch", Owner: "bob", Nodes: 1, PPN: 4, Walltime: time.Second,
+				Script: func(env *pbs.JobEnv) { s.Sleep(50 * time.Millisecond) },
+			})
+			if err != nil {
+				t.Errorf("Submit after restart: %v", err)
+				return
+			}
+			ids = append(ids, id)
+		}
+
+		final, err := client.Wait(survivor)
+		if err != nil {
+			t.Errorf("Wait(survivor): %v", err)
+			return
+		}
+		if final.State != pbs.JobCompleted {
+			t.Errorf("survivor state = %v", final.State)
+		}
+		for _, id := range ids {
+			info, err := client.Wait(id)
+			if err != nil || info.State != pbs.JobCompleted {
+				t.Errorf("batch job %s: %v %v", id, info.State, err)
+			}
+		}
+
+		// Invariants at the end of the day.
+		nodes, _ := client.Nodes()
+		downs := 0
+		for _, n := range nodes {
+			if n.Down {
+				downs++
+				continue
+			}
+			if len(n.Jobs) != 0 {
+				t.Errorf("node %s leaked %v", n.Name, n.Jobs)
+			}
+		}
+		if downs != 1 {
+			t.Errorf("down nodes = %d, want exactly the killed accelerator", downs)
+		}
+		recs := replacement.AccountingLog()
+		if len(recs) == 0 {
+			t.Error("replacement server kept no accounting records")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"init", "grew", "survived-ac-failure", "malleable"}
+	if len(appLog) != len(want) {
+		t.Fatalf("app log = %v", appLog)
+	}
+	for i := range want {
+		if appLog[i] != want[i] {
+			t.Fatalf("app log = %v, want %v", appLog, want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package dac
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/mpi"
+)
+
+// All compute-node-to-daemon traffic travels under one user tag; the
+// reply tag is the request's sequence number (>= replyTagBase), so
+// concurrent operations to the same daemon never collide.
+const (
+	opTag        = 1
+	replyTagBase = 100
+)
+
+// opRequest is the front-end -> back-end protocol of Figure 3: the
+// computation API calls translated into requests executed by the
+// daemon against its GPU via the (simulated) CUDA driver API, plus
+// the control operations used by the resource-management library.
+type opRequest struct {
+	Op     string // "malloc","free","copyin","copyout","kernel","exit","spawn","shrink"
+	Seq    int
+	Size   int64
+	Ptr    gpusim.Ptr
+	Offset int64
+	Data   []byte
+	Kernel string
+	Grid   [3]int
+	Block  [3]int
+	Args   []any
+
+	// Control fields.
+	Hosts []string // spawn: new accelerator hosts
+	Keep  []int    // shrink: ranks to retain
+	Gen   int      // shrink: generation
+}
+
+type opReply struct {
+	Seq  int
+	Err  string
+	Ptr  gpusim.Ptr
+	Data []byte
+}
+
+// daemonServe is the accelerator daemon's main loop: receive requests
+// from the compute node (rank 0 of the merged intracommunicator),
+// execute them on the local GPU, reply. Control requests reshape the
+// communicator when the compute node dynamically acquires or releases
+// accelerators.
+func (ctx *Context) daemonServe(p *mpi.Proc, comm *mpi.Comm) {
+	dev := ctx.Device(p.Host())
+	for {
+		st, err := comm.Recv(0, opTag)
+		if err != nil {
+			return
+		}
+		req := st.Payload.(opRequest)
+		switch req.Op {
+		case "exit":
+			return
+		case "spawn":
+			inter, err := comm.SpawnCollective(SpawnCommand, nil, req.Hosts)
+			if err != nil {
+				return
+			}
+			next, err := inter.Merge(false)
+			if err != nil {
+				return
+			}
+			comm = next
+		case "shrink":
+			next, err := comm.Shrink(req.Keep, req.Gen)
+			if err != nil {
+				return
+			}
+			comm = next
+		default:
+			reply := ctx.execute(dev, req)
+			size := len(reply.Data)
+			if size > 0 {
+				_ = comm.SendPipelined(0, req.Seq, reply, size)
+			} else {
+				_ = comm.Send(0, req.Seq, reply, 0)
+			}
+		}
+	}
+}
+
+// execute runs one computation request against the device.
+func (ctx *Context) execute(dev *gpusim.Device, req opRequest) opReply {
+	if dev == nil {
+		return opReply{Seq: req.Seq, Err: "dac: host has no accelerator device"}
+	}
+	switch req.Op {
+	case "malloc":
+		ptr, err := dev.Malloc(req.Size)
+		if err != nil {
+			return opReply{Seq: req.Seq, Err: err.Error()}
+		}
+		return opReply{Seq: req.Seq, Ptr: ptr}
+	case "free":
+		if err := dev.Free(req.Ptr); err != nil {
+			return opReply{Seq: req.Seq, Err: err.Error()}
+		}
+		return opReply{Seq: req.Seq}
+	case "copyin":
+		if err := dev.CopyIn(req.Ptr, req.Offset, req.Data); err != nil {
+			return opReply{Seq: req.Seq, Err: err.Error()}
+		}
+		return opReply{Seq: req.Seq}
+	case "copyout":
+		data, err := dev.CopyOut(req.Ptr, req.Offset, req.Size)
+		if err != nil {
+			return opReply{Seq: req.Seq, Err: err.Error()}
+		}
+		return opReply{Seq: req.Seq, Data: data}
+	case "kernel":
+		if err := dev.Launch(req.Kernel, req.Grid, req.Block, req.Args...); err != nil {
+			return opReply{Seq: req.Seq, Err: err.Error()}
+		}
+		return opReply{Seq: req.Seq}
+	default:
+		return opReply{Seq: req.Seq, Err: fmt.Sprintf("dac: unknown op %q", req.Op)}
+	}
+}

@@ -1,0 +1,274 @@
+// Package fifosched implements TORQUE's built-in basic FIFO scheduler
+// (pbs_sched), which the paper mentions as the alternative to Maui
+// (Section III-A) and which demonstrates its portability claim: "Any
+// scheduler capable of dynamic scheduling and allocation can be
+// integrated with our version of TORQUE" (Section V).
+//
+// Policy: strict first-come first-served over submission order — the
+// queue head blocks everything behind it; no backfill, no fairshare,
+// no priorities. Dynamic requests are serviced in arrival order
+// interleaved with the static queue.
+package fifosched
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// Params is the FIFO scheduler's cost model.
+type Params struct {
+	Endpoint      string
+	CycleInterval time.Duration
+	CycleOverhead time.Duration
+	PerJobCost    time.Duration
+}
+
+// DefaultParams mirrors the Maui testbed costs so comparisons isolate
+// policy, not speed.
+func DefaultParams() Params {
+	return Params{
+		Endpoint:      "pbs_sched",
+		CycleInterval: time.Second,
+		CycleOverhead: 150 * time.Millisecond,
+		PerJobCost:    25 * time.Millisecond,
+	}
+}
+
+// Scheduler is the pbs_sched daemon.
+type Scheduler struct {
+	net      *netsim.Network
+	sim      *sim.Simulation
+	ep       *netsim.Endpoint
+	serverEP string
+	params   Params
+
+	mu      sync.Mutex
+	nextReq int
+	cycles  int64
+	placed  int64
+}
+
+// New creates a FIFO scheduler speaking to the given server.
+func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
+	if params.Endpoint == "" {
+		params.Endpoint = "pbs_sched"
+	}
+	return &Scheduler{
+		net:      net,
+		sim:      net.Sim(),
+		ep:       net.Endpoint(params.Endpoint),
+		serverEP: serverEP,
+		params:   params,
+	}
+}
+
+// Endpoint returns the scheduler's fabric name.
+func (sc *Scheduler) Endpoint() string { return sc.ep.Name() }
+
+// Cycles reports completed scheduling iterations.
+func (sc *Scheduler) Cycles() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.cycles
+}
+
+// JobsPlaced reports jobs started by this scheduler.
+func (sc *Scheduler) JobsPlaced() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.placed
+}
+
+// Start spawns the scheduler actor.
+func (sc *Scheduler) Start() {
+	sc.sim.Go("pbs_sched", func() {
+		for {
+			_, err := sc.ep.RecvTimeout(sc.params.CycleInterval)
+			if err != nil && !errors.Is(err, netsim.ErrTimeout) {
+				return
+			}
+			for sc.ep.Pending() > 0 {
+				if _, err := sc.ep.Recv(); err != nil {
+					return
+				}
+			}
+			if !sc.runCycle() {
+				return
+			}
+		}
+	})
+}
+
+func (sc *Scheduler) fetch() (pbs.SchedInfoResp, error) {
+	sc.mu.Lock()
+	sc.nextReq++
+	id := sc.nextReq
+	sc.mu.Unlock()
+	if err := sc.ep.Send(sc.serverEP, "pbs", pbs.SchedInfoReq{ReqID: id, ReplyTo: sc.ep.Name()}, 0); err != nil {
+		return pbs.SchedInfoResp{}, err
+	}
+	m, err := sc.ep.RecvMatch(func(m *netsim.Message) bool {
+		r, ok := m.Payload.(pbs.SchedInfoResp)
+		return ok && r.ReqID == id
+	})
+	if err != nil {
+		return pbs.SchedInfoResp{}, err
+	}
+	return m.Payload.(pbs.SchedInfoResp), nil
+}
+
+// free tracks the cycle-local pool.
+type free struct {
+	acs    []string
+	cores  map[string]int
+	jobs   map[string][]string
+	cnames []string
+}
+
+func (sc *Scheduler) runCycle() bool {
+	info, err := sc.fetch()
+	if err != nil {
+		return false
+	}
+	sc.sim.Sleep(sc.params.CycleOverhead)
+	sc.mu.Lock()
+	sc.cycles++
+	sc.mu.Unlock()
+
+	pool := free{cores: make(map[string]int), jobs: make(map[string][]string)}
+	for _, n := range info.Nodes {
+		if n.Down {
+			continue
+		}
+		switch n.Type {
+		case pbs.AcceleratorNode:
+			if n.Free() {
+				pool.acs = append(pool.acs, n.Name)
+			}
+		case pbs.ComputeNode:
+			pool.cores[n.Name] = n.FreeCores()
+			pool.jobs[n.Name] = n.Jobs
+			pool.cnames = append(pool.cnames, n.Name)
+		}
+	}
+
+	// One stream, strictly by arrival.
+	type item struct {
+		at  time.Duration
+		job *pbs.JobInfo
+		dyn *pbs.SchedDynView
+	}
+	var items []item
+	for i := range info.Queued {
+		items = append(items, item{at: info.Queued[i].SubmittedAt, job: &info.Queued[i]})
+	}
+	for i := range info.Dyn {
+		items = append(items, item{at: info.Dyn[i].ArrivedAt, dyn: &info.Dyn[i]})
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].at < items[b].at })
+
+	blocked := false
+	for _, it := range items {
+		sc.sim.Sleep(sc.params.PerJobCost)
+		if it.dyn != nil {
+			// Dynamic requests are answered even when the static head
+			// blocks: rejection is immediate, never queued-for-later
+			// (Section III-E).
+			hosts := sc.allocDyn(*it.dyn, &pool)
+			sc.send(pbs.DynAllocCmd{ReqID: it.dyn.ReqID, Hosts: hosts})
+			continue
+		}
+		if blocked {
+			continue // strict FIFO: nothing overtakes the head
+		}
+		hosts, acc, ok := sc.place(it.job.Spec, it.job.ID, &pool)
+		if !ok {
+			blocked = true
+			continue
+		}
+		sc.mu.Lock()
+		sc.placed++
+		sc.mu.Unlock()
+		sc.send(pbs.AllocCmd{JobID: it.job.ID, Hosts: hosts, AccHosts: acc})
+	}
+	return true
+}
+
+func (sc *Scheduler) allocDyn(r pbs.SchedDynView, pool *free) []string {
+	if r.Kind == pbs.KindCompute {
+		var chosen []string
+		for _, cn := range pool.cnames {
+			if pool.cores[cn] < r.PPN || r.PPN <= 0 || hasJob(pool.jobs[cn], r.JobID) {
+				continue
+			}
+			chosen = append(chosen, cn)
+			if len(chosen) == r.Count {
+				break
+			}
+		}
+		if len(chosen) < r.Count {
+			return nil
+		}
+		for _, cn := range chosen {
+			pool.cores[cn] -= r.PPN
+			pool.jobs[cn] = append(pool.jobs[cn], r.JobID)
+		}
+		return chosen
+	}
+	if r.Count > len(pool.acs) {
+		return nil
+	}
+	out := append([]string(nil), pool.acs[:r.Count]...)
+	pool.acs = pool.acs[r.Count:]
+	return out
+}
+
+func (sc *Scheduler) place(spec pbs.JobSpec, jobID string, pool *free) ([]string, map[string][]string, bool) {
+	var chosen []string
+	for _, cn := range pool.cnames {
+		if pool.cores[cn] >= spec.PPN && (spec.PPN > 0 || pool.cores[cn] > 0) {
+			chosen = append(chosen, cn)
+			if len(chosen) == spec.Nodes {
+				break
+			}
+		}
+	}
+	if len(chosen) < spec.Nodes {
+		return nil, nil, false
+	}
+	need := spec.Nodes * spec.ACPN
+	if need > len(pool.acs) {
+		return nil, nil, false
+	}
+	acc := make(map[string][]string, spec.Nodes)
+	idx := 0
+	for _, cn := range chosen {
+		if spec.ACPN > 0 {
+			acc[cn] = append([]string(nil), pool.acs[idx:idx+spec.ACPN]...)
+			idx += spec.ACPN
+		}
+		pool.cores[cn] -= spec.PPN
+		pool.jobs[cn] = append(pool.jobs[cn], jobID)
+	}
+	pool.acs = pool.acs[need:]
+	return chosen, acc, true
+}
+
+func hasJob(jobs []string, id string) bool {
+	for _, j := range jobs {
+		if j == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *Scheduler) send(payload any) {
+	_ = sc.ep.Send(sc.serverEP, "pbs", payload, 0)
+}

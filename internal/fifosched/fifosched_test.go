@@ -1,0 +1,172 @@
+package fifosched_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dac"
+	"repro/internal/fifosched"
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+)
+
+// fifoParams builds a fast test cluster running pbs_sched instead of
+// Maui.
+func fifoParams(cns, acs int) (cluster.Params, **fifosched.Scheduler) {
+	p := cluster.Default()
+	p.ComputeNodes = cns
+	p.Accelerators = acs
+	p.MPI.ProcStartup = 8 * time.Millisecond
+	p.MPI.ConnectOverhead = time.Millisecond
+	p.MPI.MergeOverhead = time.Millisecond
+	p.MPI.SpawnOverhead = 2 * time.Millisecond
+	p.DAC.DaemonLaunch = 5 * time.Millisecond
+	p.DAC.DaemonInit = 5 * time.Millisecond
+	p.Mom.DynJoinCost = 3 * time.Millisecond
+	p.Server.Processing = time.Millisecond
+	holder := new(*fifosched.Scheduler)
+	p.MakeScheduler = func(net *netsim.Network, serverEP string) cluster.SchedulerDaemon {
+		fp := fifosched.DefaultParams()
+		fp.CycleInterval = 50 * time.Millisecond
+		fp.CycleOverhead = 5 * time.Millisecond
+		fp.PerJobCost = 2 * time.Millisecond
+		sc := fifosched.New(net, serverEP, fp)
+		*holder = sc
+		return sc
+	}
+	return p, holder
+}
+
+func TestFIFOSchedulerRunsJobs(t *testing.T) {
+	p, holder := fifoParams(2, 2)
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		if c.Sched != nil {
+			t.Error("Maui should not be active with a custom scheduler")
+		}
+		var ids []string
+		for i := 0; i < 4; i++ {
+			id, err := client.Submit(pbs.JobSpec{
+				Name: "f", Owner: "u", Nodes: 1, PPN: 4, Walltime: time.Second,
+				Script: func(env *pbs.JobEnv) { c.Sim.Sleep(20 * time.Millisecond) },
+			})
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			info, err := client.Wait(id)
+			if err != nil || info.State != pbs.JobCompleted {
+				t.Fatalf("job %s: %v %v", id, info.State, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if (*holder).JobsPlaced() != 4 {
+		t.Errorf("placed = %d", (*holder).JobsPlaced())
+	}
+	if (*holder).Cycles() == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestFIFOStrictOrdering(t *testing.T) {
+	// A blocked wide head must stall later narrow jobs (no backfill).
+	p, _ := fifoParams(1, 0)
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		a, _ := client.Submit(pbs.JobSpec{Name: "a", Owner: "u", Nodes: 1, PPN: 6, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { c.Sim.Sleep(150 * time.Millisecond) }})
+		b, _ := client.Submit(pbs.JobSpec{Name: "b", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { c.Sim.Sleep(30 * time.Millisecond) }})
+		cjob, _ := client.Submit(pbs.JobSpec{Name: "c", Owner: "u", Nodes: 1, PPN: 2, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { c.Sim.Sleep(10 * time.Millisecond) }})
+		client.Wait(a)
+		bi, _ := client.Wait(b)
+		ci, _ := client.Wait(cjob)
+		if ci.StartedAt < bi.StartedAt {
+			t.Errorf("FIFO violated: c started %v before b %v", ci.StartedAt, bi.StartedAt)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFIFODynamicAllocationWorks proves the paper's portability
+// claim: the extended TORQUE's dynamic path works under a completely
+// different scheduler.
+func TestFIFODynamicAllocationWorks(t *testing.T) {
+	p, _ := fifoParams(1, 4)
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		id, err := client.Submit(pbs.JobSpec{
+			Name: "dyn", Owner: "u", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				ac, _, err := dac.Init(env)
+				if err != nil {
+					t.Errorf("Init: %v", err)
+					return
+				}
+				defer ac.Finalize()
+				clientID, hs, err := ac.Get(2)
+				if err != nil {
+					t.Errorf("Get under pbs_sched: %v", err)
+					return
+				}
+				if len(hs) != 2 {
+					t.Errorf("granted %d", len(hs))
+					return
+				}
+				if _, err := ac.MemAlloc(hs[0], 64); err != nil {
+					t.Errorf("MemAlloc: %v", err)
+				}
+				if err := ac.Free(clientID); err != nil {
+					t.Errorf("Free: %v", err)
+				}
+				// Malleable compute-node growth also works.
+				cl := pbs.NewClient(c.Net, env.Host, env.ServerEP)
+				if _, err := cl.DynGetNodes(env.JobID, env.Host, 1, 1); err == nil {
+					t.Error("DynGetNodes should fail with 1 CN (own node excluded)")
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		info, err := client.Wait(id)
+		if err != nil || info.State != pbs.JobCompleted {
+			t.Fatalf("state %v err %v", info.State, err)
+		}
+		if len(info.DynRecords) != 2 {
+			t.Fatalf("records = %+v", info.DynRecords)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFIFODynRejectionImmediate(t *testing.T) {
+	p, _ := fifoParams(1, 1)
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		id, _ := client.Submit(pbs.JobSpec{
+			Name: "rej", Owner: "u", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				ac, _, err := dac.Init(env)
+				if err != nil {
+					return
+				}
+				defer ac.Finalize()
+				if _, _, err := ac.Get(3); err == nil {
+					t.Error("expected rejection (no free accelerators)")
+				}
+			},
+		})
+		client.Wait(id)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

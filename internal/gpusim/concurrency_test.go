@@ -1,0 +1,84 @@
+package gpusim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestConcurrentDeviceOps hammers one device from many actors; memory
+// accounting must stay exact.
+func TestConcurrentDeviceOps(t *testing.T) {
+	s := sim.New()
+	d := NewDevice(s, "gpu", 1<<20, DefaultPerf())
+	err := s.Run(func() {
+		g := s.NewGroup("workers")
+		const workers = 16
+		for w := 0; w < workers; w++ {
+			w := w
+			g.Go(fmt.Sprintf("worker%d", w), func() {
+				for i := 0; i < 20; i++ {
+					p, err := d.Malloc(1024)
+					if err != nil {
+						t.Errorf("Malloc: %v", err)
+						return
+					}
+					if err := d.CopyIn(p, 0, []byte{byte(w)}); err != nil {
+						t.Errorf("CopyIn: %v", err)
+						return
+					}
+					out, err := d.CopyOut(p, 0, 1)
+					if err != nil || out[0] != byte(w) {
+						t.Errorf("CopyOut: %v %v", out, err)
+						return
+					}
+					s.Sleep(time.Duration(w+1) * time.Microsecond)
+					if err := d.Free(p); err != nil {
+						t.Errorf("Free: %v", err)
+						return
+					}
+				}
+			})
+		}
+		g.Wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if d.MemUsed() != 0 {
+		t.Fatalf("leaked %d bytes", d.MemUsed())
+	}
+}
+
+// TestConcurrentKernelsOnDistinctDevices verifies devices are
+// independent: kernels on two devices overlap in virtual time.
+func TestConcurrentKernelsOnDistinctDevices(t *testing.T) {
+	s := sim.New()
+	perf := Perf{GFLOPS: 1, MemBandwidthBps: 1e12}
+	d1 := NewDevice(s, "g1", 1<<10, perf)
+	d2 := NewDevice(s, "g2", 1<<10, perf)
+	RegisterKernel("halfsec", func(ctx *KernelCtx) (Cost, error) {
+		return Cost{FLOPs: 5e8}, nil // 0.5s at 1 GFLOPS
+	})
+	err := s.Run(func() {
+		g := s.NewGroup("launch")
+		start := s.Now()
+		for _, d := range []*Device{d1, d2} {
+			d := d
+			g.Go(d.Name(), func() {
+				if err := d.Launch("halfsec", [3]int{1}, [3]int{1}); err != nil {
+					t.Errorf("Launch: %v", err)
+				}
+			})
+		}
+		g.Wait()
+		if got := s.Now() - start; got != 500*time.Millisecond {
+			t.Errorf("two devices took %v, want 500ms (parallel)", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

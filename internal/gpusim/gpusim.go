@@ -1,0 +1,262 @@
+// Package gpusim models the CUDA-enabled GPU of a network-attached
+// accelerator (paper Figure 1(b)): a device memory space, host/device
+// copies, and kernels executed under a roofline timing model.
+//
+// The paper's batch-system evaluation "did not require the physical
+// presence of an accelerator"; the examples in this repository do
+// offload work, so the device model is functional — kernels are Go
+// functions operating on simulated device buffers — while execution
+// time follows max(flops/peak, bytes/bandwidth) + launch overhead.
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Common device errors.
+var (
+	ErrOutOfMemory   = errors.New("gpusim: out of device memory")
+	ErrBadPointer    = errors.New("gpusim: invalid device pointer")
+	ErrUnknownKernel = errors.New("gpusim: unknown kernel")
+	ErrBadCopy       = errors.New("gpusim: copy out of bounds")
+)
+
+// Ptr is a device memory handle.
+type Ptr uint64
+
+// Perf is the device performance model.
+type Perf struct {
+	// GFLOPS is peak compute throughput in 1e9 floating-point
+	// operations per second.
+	GFLOPS float64
+	// MemBandwidthBps is device memory bandwidth in bytes per second.
+	MemBandwidthBps float64
+	// KernelLaunch is the fixed launch overhead per kernel.
+	KernelLaunch time.Duration
+}
+
+// DefaultPerf resembles a Fermi-class GPU of the paper's era
+// (Tesla C2050: ~515 GFLOPS double precision, ~144 GB/s).
+func DefaultPerf() Perf {
+	return Perf{GFLOPS: 515, MemBandwidthBps: 144e9, KernelLaunch: 10 * time.Microsecond}
+}
+
+// Cost describes the work a kernel performed, used to charge
+// execution time.
+type Cost struct {
+	FLOPs   float64
+	BytesRW float64
+}
+
+// KernelFunc is a device kernel. It receives the launching context to
+// read and write device memory and returns the work it performed.
+type KernelFunc func(ctx *KernelCtx) (Cost, error)
+
+// registry is the global kernel registry (mirrors compiled CUDA
+// modules being available on every device).
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]KernelFunc
+}{m: make(map[string]KernelFunc)}
+
+// RegisterKernel installs a kernel under a name. Re-registering a
+// name replaces the previous kernel.
+func RegisterKernel(name string, fn KernelFunc) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.m[name] = fn
+}
+
+func lookupKernel(name string) (KernelFunc, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	fn, ok := registry.m[name]
+	return fn, ok
+}
+
+type buffer struct {
+	data []byte
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	sim  *sim.Simulation
+	name string
+	perf Perf
+
+	mu       sync.Mutex
+	memTotal int64
+	memUsed  int64
+	next     uint64
+	allocs   map[Ptr]*buffer
+	launched int64
+}
+
+// NewDevice creates a device with the given memory capacity.
+func NewDevice(s *sim.Simulation, name string, memBytes int64, perf Perf) *Device {
+	return &Device{
+		sim:      s,
+		name:     name,
+		perf:     perf,
+		memTotal: memBytes,
+		allocs:   make(map[Ptr]*buffer),
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// MemTotal returns the device memory capacity in bytes.
+func (d *Device) MemTotal() int64 { return d.memTotal }
+
+// MemUsed returns the currently allocated bytes.
+func (d *Device) MemUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.memUsed
+}
+
+// KernelsLaunched returns how many kernels have run on the device.
+func (d *Device) KernelsLaunched() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.launched
+}
+
+// Malloc allocates size bytes of device memory (cudaMalloc).
+func (d *Device) Malloc(size int64) (Ptr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("gpusim: Malloc size %d", size)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.memUsed+size > d.memTotal {
+		return 0, fmt.Errorf("%w: want %d, free %d", ErrOutOfMemory, size, d.memTotal-d.memUsed)
+	}
+	d.next++
+	p := Ptr(d.next)
+	d.allocs[p] = &buffer{data: make([]byte, size)}
+	d.memUsed += size
+	return p, nil
+}
+
+// Free releases a device allocation (cudaFree).
+func (d *Device) Free(p Ptr) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.allocs[p]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadPointer, uint64(p))
+	}
+	d.memUsed -= int64(len(b.data))
+	delete(d.allocs, p)
+	return nil
+}
+
+// CopyIn writes host data into device memory at p+offset. The caller
+// is responsible for charging transfer time (the DAC layer charges
+// the interconnect; a node-attached GPU would charge PCIe).
+func (d *Device) CopyIn(p Ptr, offset int64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.allocs[p]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadPointer, uint64(p))
+	}
+	if offset < 0 || offset+int64(len(data)) > int64(len(b.data)) {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrBadCopy, offset, offset+int64(len(data)), len(b.data))
+	}
+	copy(b.data[offset:], data)
+	return nil
+}
+
+// CopyOut reads n bytes of device memory at p+offset.
+func (d *Device) CopyOut(p Ptr, offset, n int64) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.allocs[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", ErrBadPointer, uint64(p))
+	}
+	if offset < 0 || n < 0 || offset+n > int64(len(b.data)) {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrBadCopy, offset, offset+n, len(b.data))
+	}
+	out := make([]byte, n)
+	copy(out, b.data[offset:])
+	return out, nil
+}
+
+// KernelCtx gives a running kernel access to device memory and its
+// launch configuration.
+type KernelCtx struct {
+	dev   *Device
+	Grid  [3]int
+	Block [3]int
+	Args  []any
+}
+
+// Bytes returns the backing slice of a device allocation for in-place
+// kernel access. The kernel must not retain it past its return.
+func (c *KernelCtx) Bytes(p Ptr) ([]byte, error) {
+	c.dev.mu.Lock()
+	defer c.dev.mu.Unlock()
+	b, ok := c.dev.allocs[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %#x", ErrBadPointer, uint64(p))
+	}
+	return b.data, nil
+}
+
+// Threads returns the total thread count of the launch configuration.
+func (c *KernelCtx) Threads() int {
+	g := c.Grid[0] * max1(c.Grid[1]) * max1(c.Grid[2])
+	b := c.Block[0] * max1(c.Block[1]) * max1(c.Block[2])
+	return g * b
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Launch executes a registered kernel synchronously, charging
+// roofline time on the simulation clock.
+func (d *Device) Launch(name string, grid, block [3]int, args ...any) error {
+	fn, ok := lookupKernel(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownKernel, name)
+	}
+	ctx := &KernelCtx{dev: d, Grid: grid, Block: block, Args: args}
+	cost, err := fn(ctx)
+	if err != nil {
+		return fmt.Errorf("gpusim: kernel %q: %w", name, err)
+	}
+	d.mu.Lock()
+	d.launched++
+	d.mu.Unlock()
+	d.sim.Sleep(d.execTime(cost))
+	return nil
+}
+
+// execTime converts kernel work into time under the roofline model.
+func (d *Device) execTime(c Cost) time.Duration {
+	var compute, memory float64 // seconds
+	if d.perf.GFLOPS > 0 {
+		compute = c.FLOPs / (d.perf.GFLOPS * 1e9)
+	}
+	if d.perf.MemBandwidthBps > 0 {
+		memory = c.BytesRW / d.perf.MemBandwidthBps
+	}
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return d.perf.KernelLaunch + time.Duration(t*float64(time.Second))
+}

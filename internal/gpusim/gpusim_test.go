@@ -1,0 +1,364 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func device(t *testing.T, mem int64) (*sim.Simulation, *Device) {
+	t.Helper()
+	s := sim.New()
+	return s, NewDevice(s, "gpu0", mem, DefaultPerf())
+}
+
+func TestMallocFree(t *testing.T) {
+	s, d := device(t, 1024)
+	err := s.Run(func() {
+		p, err := d.Malloc(512)
+		if err != nil {
+			t.Errorf("Malloc: %v", err)
+			return
+		}
+		if d.MemUsed() != 512 {
+			t.Errorf("used = %d", d.MemUsed())
+		}
+		if err := d.Free(p); err != nil {
+			t.Errorf("Free: %v", err)
+		}
+		if d.MemUsed() != 0 {
+			t.Errorf("used after free = %d", d.MemUsed())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMallocOOM(t *testing.T) {
+	s, d := device(t, 100)
+	err := s.Run(func() {
+		if _, err := d.Malloc(101); !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("err = %v", err)
+		}
+		p, _ := d.Malloc(60)
+		if _, err := d.Malloc(60); !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("second alloc err = %v", err)
+		}
+		d.Free(p)
+		if _, err := d.Malloc(100); err != nil {
+			t.Errorf("after free: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMallocInvalidSize(t *testing.T) {
+	s, d := device(t, 100)
+	err := s.Run(func() {
+		if _, err := d.Malloc(0); err == nil {
+			t.Error("Malloc(0) should fail")
+		}
+		if _, err := d.Malloc(-1); err == nil {
+			t.Error("Malloc(-1) should fail")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFreeBadPointer(t *testing.T) {
+	s, d := device(t, 100)
+	err := s.Run(func() {
+		if err := d.Free(Ptr(99)); !errors.Is(err, ErrBadPointer) {
+			t.Errorf("err = %v", err)
+		}
+		p, _ := d.Malloc(10)
+		d.Free(p)
+		if err := d.Free(p); !errors.Is(err, ErrBadPointer) {
+			t.Errorf("double free err = %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCopyRoundTrip(t *testing.T) {
+	s, d := device(t, 1024)
+	err := s.Run(func() {
+		p, _ := d.Malloc(16)
+		in := []byte{1, 2, 3, 4}
+		if err := d.CopyIn(p, 4, in); err != nil {
+			t.Errorf("CopyIn: %v", err)
+		}
+		out, err := d.CopyOut(p, 4, 4)
+		if err != nil {
+			t.Errorf("CopyOut: %v", err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Errorf("out[%d] = %d", i, out[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCopyBounds(t *testing.T) {
+	s, d := device(t, 1024)
+	err := s.Run(func() {
+		p, _ := d.Malloc(8)
+		if err := d.CopyIn(p, 5, []byte{1, 2, 3, 4}); !errors.Is(err, ErrBadCopy) {
+			t.Errorf("err = %v", err)
+		}
+		if err := d.CopyIn(p, -1, []byte{1}); !errors.Is(err, ErrBadCopy) {
+			t.Errorf("err = %v", err)
+		}
+		if _, err := d.CopyOut(p, 0, 9); !errors.Is(err, ErrBadCopy) {
+			t.Errorf("err = %v", err)
+		}
+		if err := d.CopyIn(Ptr(42), 0, []byte{1}); !errors.Is(err, ErrBadPointer) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestVecAddKernel(t *testing.T) {
+	s, d := device(t, 1<<20)
+	err := s.Run(func() {
+		const n = 100
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(i)
+			b[i] = 2 * float64(i)
+		}
+		ap, _ := d.Malloc(8 * n)
+		bp, _ := d.Malloc(8 * n)
+		cp, _ := d.Malloc(8 * n)
+		d.CopyIn(ap, 0, EncodeFloat64s(a))
+		d.CopyIn(bp, 0, EncodeFloat64s(b))
+		if err := d.Launch("vecadd", [3]int{1}, [3]int{n}, cp, ap, bp, n); err != nil {
+			t.Errorf("Launch: %v", err)
+			return
+		}
+		raw, _ := d.CopyOut(cp, 0, 8*n)
+		c := DecodeFloat64s(raw)
+		for i := range c {
+			if c[i] != 3*float64(i) {
+				t.Errorf("c[%d] = %v, want %v", i, c[i], 3*float64(i))
+			}
+		}
+		if d.KernelsLaunched() != 1 {
+			t.Errorf("launched = %d", d.KernelsLaunched())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDaxpyKernel(t *testing.T) {
+	s, d := device(t, 1<<20)
+	err := s.Run(func() {
+		const n = 10
+		x := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+		y := make([]float64, n)
+		xp, _ := d.Malloc(8 * n)
+		yp, _ := d.Malloc(8 * n)
+		d.CopyIn(xp, 0, EncodeFloat64s(x))
+		d.CopyIn(yp, 0, EncodeFloat64s(y))
+		if err := d.Launch("daxpy", [3]int{1}, [3]int{n}, yp, xp, 2.5, n); err != nil {
+			t.Errorf("Launch: %v", err)
+			return
+		}
+		raw, _ := d.CopyOut(yp, 0, 8*n)
+		for i, v := range DecodeFloat64s(raw) {
+			if v != 2.5 {
+				t.Errorf("y[%d] = %v", i, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDgemmKernel(t *testing.T) {
+	s, d := device(t, 1<<20)
+	err := s.Run(func() {
+		// 2x2: A = [[1,2],[3,4]], B = I → C = A.
+		a := []float64{1, 2, 3, 4}
+		b := []float64{1, 0, 0, 1}
+		ap, _ := d.Malloc(32)
+		bp, _ := d.Malloc(32)
+		cp, _ := d.Malloc(32)
+		d.CopyIn(ap, 0, EncodeFloat64s(a))
+		d.CopyIn(bp, 0, EncodeFloat64s(b))
+		if err := d.Launch("dgemm", [3]int{1}, [3]int{4}, cp, ap, bp, 2); err != nil {
+			t.Errorf("Launch: %v", err)
+			return
+		}
+		raw, _ := d.CopyOut(cp, 0, 32)
+		c := DecodeFloat64s(raw)
+		for i := range a {
+			if c[i] != a[i] {
+				t.Errorf("c[%d] = %v, want %v", i, c[i], a[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestJacobiKernel(t *testing.T) {
+	s, d := device(t, 1<<20)
+	err := s.Run(func() {
+		in := []float64{0, 3, 6, 9}
+		ip, _ := d.Malloc(32)
+		op, _ := d.Malloc(32)
+		d.CopyIn(ip, 0, EncodeFloat64s(in))
+		if err := d.Launch("jacobi", [3]int{1}, [3]int{4}, op, ip, 4); err != nil {
+			t.Errorf("Launch: %v", err)
+			return
+		}
+		raw, _ := d.CopyOut(op, 0, 32)
+		out := DecodeFloat64s(raw)
+		want := []float64{0, 3, 6, 9}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestReduceSumKernel(t *testing.T) {
+	s, d := device(t, 1<<20)
+	err := s.Run(func() {
+		in := []float64{1, 2, 3, 4, 5}
+		ip, _ := d.Malloc(40)
+		op, _ := d.Malloc(8)
+		d.CopyIn(ip, 0, EncodeFloat64s(in))
+		if err := d.Launch("reduce_sum", [3]int{1}, [3]int{5}, op, ip, 5); err != nil {
+			t.Errorf("Launch: %v", err)
+			return
+		}
+		raw, _ := d.CopyOut(op, 0, 8)
+		if got := DecodeFloat64s(raw)[0]; got != 15 {
+			t.Errorf("sum = %v, want 15", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestUnknownKernel(t *testing.T) {
+	s, d := device(t, 100)
+	err := s.Run(func() {
+		if err := d.Launch("missing", [3]int{1}, [3]int{1}); !errors.Is(err, ErrUnknownKernel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestKernelChargesRooflineTime(t *testing.T) {
+	s := sim.New()
+	perf := Perf{GFLOPS: 1, MemBandwidthBps: 1e12, KernelLaunch: time.Millisecond}
+	d := NewDevice(s, "slow", 1<<20, perf)
+	RegisterKernel("burn", func(ctx *KernelCtx) (Cost, error) {
+		return Cost{FLOPs: 1e9}, nil // 1 second at 1 GFLOPS
+	})
+	err := s.Run(func() {
+		start := s.Now()
+		if err := d.Launch("burn", [3]int{1}, [3]int{1}); err != nil {
+			t.Errorf("Launch: %v", err)
+		}
+		if got, want := s.Now()-start, time.Second+time.Millisecond; got != want {
+			t.Errorf("exec time = %v, want %v", got, want)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestKernelMemoryBound(t *testing.T) {
+	s := sim.New()
+	perf := Perf{GFLOPS: 1000, MemBandwidthBps: 1e9, KernelLaunch: 0}
+	d := NewDevice(s, "membound", 1<<20, perf)
+	RegisterKernel("stream", func(ctx *KernelCtx) (Cost, error) {
+		return Cost{FLOPs: 1, BytesRW: 5e8}, nil // 0.5s at 1 GB/s
+	})
+	err := s.Run(func() {
+		start := s.Now()
+		d.Launch("stream", [3]int{1}, [3]int{1})
+		if got := s.Now() - start; got != 500*time.Millisecond {
+			t.Errorf("exec time = %v, want 500ms", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		got := DecodeFloat64s(EncodeFloat64s(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaN compares unequal to itself; compare bit patterns via encode.
+			if got[i] != vals[i] && !(vals[i] != vals[i] && got[i] != got[i]) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelCtxThreads(t *testing.T) {
+	ctx := &KernelCtx{Grid: [3]int{4, 2, 0}, Block: [3]int{32, 0, 0}}
+	if got := ctx.Threads(); got != 4*2*32 {
+		t.Fatalf("Threads = %d, want 256", got)
+	}
+}
+
+func TestBadKernelArgs(t *testing.T) {
+	s, d := device(t, 1<<20)
+	err := s.Run(func() {
+		if err := d.Launch("vecadd", [3]int{1}, [3]int{1}, "not a ptr"); err == nil {
+			t.Error("bad args should fail")
+		}
+		p, _ := d.Malloc(8)
+		if err := d.Launch("vecadd", [3]int{1}, [3]int{1}, p, p); err == nil {
+			t.Error("missing args should fail")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+package gpusim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float64 device-buffer helpers shared by the built-in kernels and by
+// example applications.
+
+// EncodeFloat64s serializes a float64 slice into a byte buffer
+// suitable for CopyIn.
+func EncodeFloat64s(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloat64s deserializes a byte buffer written by EncodeFloat64s.
+func DecodeFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func f64at(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+}
+
+func setF64(b []byte, i int, v float64) {
+	binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+}
+
+func argPtr(ctx *KernelCtx, i int) (Ptr, error) {
+	if i >= len(ctx.Args) {
+		return 0, fmt.Errorf("missing arg %d", i)
+	}
+	p, ok := ctx.Args[i].(Ptr)
+	if !ok {
+		return 0, fmt.Errorf("arg %d is %T, want Ptr", i, ctx.Args[i])
+	}
+	return p, nil
+}
+
+func argInt(ctx *KernelCtx, i int) (int, error) {
+	if i >= len(ctx.Args) {
+		return 0, fmt.Errorf("missing arg %d", i)
+	}
+	n, ok := ctx.Args[i].(int)
+	if !ok {
+		return 0, fmt.Errorf("arg %d is %T, want int", i, ctx.Args[i])
+	}
+	return n, nil
+}
+
+func argF64(ctx *KernelCtx, i int) (float64, error) {
+	if i >= len(ctx.Args) {
+		return 0, fmt.Errorf("missing arg %d", i)
+	}
+	v, ok := ctx.Args[i].(float64)
+	if !ok {
+		return 0, fmt.Errorf("arg %d is %T, want float64", i, ctx.Args[i])
+	}
+	return v, nil
+}
+
+func init() {
+	// vecadd(c, a, b, n): c[i] = a[i] + b[i]
+	RegisterKernel("vecadd", func(ctx *KernelCtx) (Cost, error) {
+		cp, err := argPtr(ctx, 0)
+		if err != nil {
+			return Cost{}, err
+		}
+		ap, err := argPtr(ctx, 1)
+		if err != nil {
+			return Cost{}, err
+		}
+		bp, err := argPtr(ctx, 2)
+		if err != nil {
+			return Cost{}, err
+		}
+		n, err := argInt(ctx, 3)
+		if err != nil {
+			return Cost{}, err
+		}
+		cb, err := ctx.Bytes(cp)
+		if err != nil {
+			return Cost{}, err
+		}
+		ab, err := ctx.Bytes(ap)
+		if err != nil {
+			return Cost{}, err
+		}
+		bb, err := ctx.Bytes(bp)
+		if err != nil {
+			return Cost{}, err
+		}
+		for i := 0; i < n; i++ {
+			setF64(cb, i, f64at(ab, i)+f64at(bb, i))
+		}
+		return Cost{FLOPs: float64(n), BytesRW: float64(24 * n)}, nil
+	})
+
+	// daxpy(y, x, alpha, n): y[i] += alpha * x[i]
+	RegisterKernel("daxpy", func(ctx *KernelCtx) (Cost, error) {
+		yp, err := argPtr(ctx, 0)
+		if err != nil {
+			return Cost{}, err
+		}
+		xp, err := argPtr(ctx, 1)
+		if err != nil {
+			return Cost{}, err
+		}
+		alpha, err := argF64(ctx, 2)
+		if err != nil {
+			return Cost{}, err
+		}
+		n, err := argInt(ctx, 3)
+		if err != nil {
+			return Cost{}, err
+		}
+		yb, err := ctx.Bytes(yp)
+		if err != nil {
+			return Cost{}, err
+		}
+		xb, err := ctx.Bytes(xp)
+		if err != nil {
+			return Cost{}, err
+		}
+		for i := 0; i < n; i++ {
+			setF64(yb, i, f64at(yb, i)+alpha*f64at(xb, i))
+		}
+		return Cost{FLOPs: float64(2 * n), BytesRW: float64(24 * n)}, nil
+	})
+
+	// dgemm(c, a, b, n): C = A×B for n×n row-major matrices.
+	RegisterKernel("dgemm", func(ctx *KernelCtx) (Cost, error) {
+		cp, err := argPtr(ctx, 0)
+		if err != nil {
+			return Cost{}, err
+		}
+		ap, err := argPtr(ctx, 1)
+		if err != nil {
+			return Cost{}, err
+		}
+		bp, err := argPtr(ctx, 2)
+		if err != nil {
+			return Cost{}, err
+		}
+		n, err := argInt(ctx, 3)
+		if err != nil {
+			return Cost{}, err
+		}
+		cb, err := ctx.Bytes(cp)
+		if err != nil {
+			return Cost{}, err
+		}
+		ab, err := ctx.Bytes(ap)
+		if err != nil {
+			return Cost{}, err
+		}
+		bb, err := ctx.Bytes(bp)
+		if err != nil {
+			return Cost{}, err
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k < n; k++ {
+					sum += f64at(ab, i*n+k) * f64at(bb, k*n+j)
+				}
+				setF64(cb, i*n+j, sum)
+			}
+		}
+		nn := float64(n)
+		return Cost{FLOPs: 2 * nn * nn * nn, BytesRW: 8 * 3 * nn * nn}, nil
+	})
+
+	// jacobi(out, in, n): one 1-D 3-point stencil sweep with fixed
+	// boundaries.
+	RegisterKernel("jacobi", func(ctx *KernelCtx) (Cost, error) {
+		op, err := argPtr(ctx, 0)
+		if err != nil {
+			return Cost{}, err
+		}
+		ip, err := argPtr(ctx, 1)
+		if err != nil {
+			return Cost{}, err
+		}
+		n, err := argInt(ctx, 2)
+		if err != nil {
+			return Cost{}, err
+		}
+		ob, err := ctx.Bytes(op)
+		if err != nil {
+			return Cost{}, err
+		}
+		ib, err := ctx.Bytes(ip)
+		if err != nil {
+			return Cost{}, err
+		}
+		setF64(ob, 0, f64at(ib, 0))
+		setF64(ob, n-1, f64at(ib, n-1))
+		for i := 1; i < n-1; i++ {
+			setF64(ob, i, (f64at(ib, i-1)+f64at(ib, i)+f64at(ib, i+1))/3)
+		}
+		return Cost{FLOPs: float64(3 * n), BytesRW: float64(16 * n)}, nil
+	})
+
+	// reduce_sum(out, in, n): out[0] = sum(in[0..n)).
+	RegisterKernel("reduce_sum", func(ctx *KernelCtx) (Cost, error) {
+		op, err := argPtr(ctx, 0)
+		if err != nil {
+			return Cost{}, err
+		}
+		ip, err := argPtr(ctx, 1)
+		if err != nil {
+			return Cost{}, err
+		}
+		n, err := argInt(ctx, 2)
+		if err != nil {
+			return Cost{}, err
+		}
+		ob, err := ctx.Bytes(op)
+		if err != nil {
+			return Cost{}, err
+		}
+		ib, err := ctx.Bytes(ip)
+		if err != nil {
+			return Cost{}, err
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += f64at(ib, i)
+		}
+		setF64(ob, 0, sum)
+		return Cost{FLOPs: float64(n), BytesRW: float64(8*n + 8)}, nil
+	})
+}

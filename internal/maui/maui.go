@@ -1,0 +1,467 @@
+// Package maui implements a Maui-like scheduler for the extended
+// TORQUE server of package pbs: priority scheduling with queue-time
+// and fairshare components, optional EASY backfill, and — the paper's
+// extension (Section III-E) — scheduling of dynamic accelerator
+// requests, which hold the special dynqueued state and are served
+// with top priority in FIFO order.
+package maui
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// DefaultEndpoint is the scheduler's fabric name.
+const DefaultEndpoint = "maui"
+
+// Params configures scheduling policy and the cycle cost model.
+type Params struct {
+	// Endpoint is the scheduler's fabric name (DefaultEndpoint if
+	// empty).
+	Endpoint string
+	// CycleInterval is the idle re-poll period; kicks from the server
+	// trigger cycles earlier.
+	CycleInterval time.Duration
+	// CycleOverhead is the fixed cost per scheduling iteration
+	// (queue retrieval, policy setup).
+	CycleOverhead time.Duration
+	// PerJobCost is the scheduling cost per queued job examined. A
+	// dynamic request arriving while a cycle works through a long
+	// backlog waits accordingly (Figure 8).
+	PerJobCost time.Duration
+	// DynPerReqCost is the scheduling cost per dynamic request.
+	DynPerReqCost time.Duration
+	// DynTopPriority places dynamic requests ahead of all static
+	// requests (the paper's policy). Disabling it is the ablation:
+	// dynamic requests then compete in plain FIFO order by arrival.
+	DynTopPriority bool
+	// Backfill enables EASY backfill behind a blocked queue head.
+	Backfill bool
+	// PartialAlloc implements the paper's future-work extension
+	// (Section VI): grant fewer accelerators than requested when the
+	// pool is short, instead of rejecting.
+	PartialAlloc bool
+	// QueueTimeWeight adds priority per second of queue wait.
+	QueueTimeWeight float64
+	// FairshareWeight subtracts priority per unit of decayed usage of
+	// the job's owner.
+	FairshareWeight float64
+	// FairshareDecay multiplies accumulated usage once per cycle
+	// (e.g. 0.99).
+	FairshareDecay float64
+}
+
+// DefaultParams is a reasonable testbed configuration.
+func DefaultParams() Params {
+	return Params{
+		Endpoint:        DefaultEndpoint,
+		CycleInterval:   500 * time.Millisecond,
+		CycleOverhead:   20 * time.Millisecond,
+		PerJobCost:      25 * time.Millisecond,
+		DynPerReqCost:   25 * time.Millisecond,
+		DynTopPriority:  true,
+		Backfill:        true,
+		QueueTimeWeight: 0.1,
+		FairshareWeight: 1,
+		FairshareDecay:  0.95,
+	}
+}
+
+// Stats summarizes scheduler activity.
+type Stats struct {
+	Cycles      int64
+	JobsPlaced  int64
+	DynGranted  int64
+	DynRejected int64
+	Backfilled  int64
+}
+
+// Scheduler is the Maui daemon.
+type Scheduler struct {
+	net      *netsim.Network
+	sim      *sim.Simulation
+	ep       *netsim.Endpoint
+	serverEP string
+	params   Params
+
+	mu      sync.Mutex
+	usage   map[string]float64 // owner -> decayed node-seconds
+	stats   Stats
+	nextReq int
+}
+
+// New creates a scheduler speaking to the given server endpoint.
+func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
+	if params.Endpoint == "" {
+		params.Endpoint = DefaultEndpoint
+	}
+	return &Scheduler{
+		net:      net,
+		sim:      net.Sim(),
+		ep:       net.Endpoint(params.Endpoint),
+		serverEP: serverEP,
+		params:   params,
+		usage:    make(map[string]float64),
+	}
+}
+
+// Endpoint returns the scheduler's fabric name.
+func (sc *Scheduler) Endpoint() string { return sc.ep.Name() }
+
+// Stats returns a snapshot of scheduler counters.
+func (sc *Scheduler) Stats() Stats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.stats
+}
+
+// Usage returns the decayed fairshare usage of an owner.
+func (sc *Scheduler) Usage(owner string) float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.usage[owner]
+}
+
+// Start spawns the scheduler actor: cycles run on kicks from the
+// server and at least every CycleInterval.
+func (sc *Scheduler) Start() {
+	sc.sim.Go("maui", func() {
+		for {
+			_, err := sc.ep.RecvTimeout(sc.params.CycleInterval)
+			if err != nil && !errors.Is(err, netsim.ErrTimeout) {
+				return
+			}
+			// Coalesce pending kicks: one cycle serves them all.
+			for sc.ep.Pending() > 0 {
+				if _, err := sc.ep.Recv(); err != nil {
+					return
+				}
+			}
+			if !sc.runCycle() {
+				return
+			}
+		}
+	})
+}
+
+// RunCycleOnce performs a single scheduling iteration synchronously
+// (for tests and single-stepped experiments).
+func (sc *Scheduler) RunCycleOnce() { sc.runCycle() }
+
+// fetchInfo pulls queue and node state from the server.
+func (sc *Scheduler) fetchInfo() (pbs.SchedInfoResp, error) {
+	sc.mu.Lock()
+	sc.nextReq++
+	id := sc.nextReq
+	sc.mu.Unlock()
+	if err := sc.ep.Send(sc.serverEP, "pbs", pbs.SchedInfoReq{ReqID: id, ReplyTo: sc.ep.Name()}, 0); err != nil {
+		return pbs.SchedInfoResp{}, err
+	}
+	m, err := sc.ep.RecvMatch(func(m *netsim.Message) bool {
+		r, ok := m.Payload.(pbs.SchedInfoResp)
+		return ok && r.ReqID == id
+	})
+	if err != nil {
+		return pbs.SchedInfoResp{}, err
+	}
+	return m.Payload.(pbs.SchedInfoResp), nil
+}
+
+// pools tracks the cycle-local view of free resources.
+type pools struct {
+	freeACs []string
+	cnFree  map[string]int      // compute node -> free cores
+	cnJobs  map[string][]string // compute node -> jobs using it
+	cnOrder []string
+}
+
+func newPools(nodes []pbs.NodeInfo) *pools {
+	p := &pools{cnFree: make(map[string]int), cnJobs: make(map[string][]string)}
+	for _, n := range nodes {
+		if n.Down {
+			continue // failed nodes never receive work
+		}
+		switch n.Type {
+		case pbs.AcceleratorNode:
+			if n.Free() {
+				p.freeACs = append(p.freeACs, n.Name)
+			}
+		case pbs.ComputeNode:
+			p.cnFree[n.Name] = n.FreeCores()
+			p.cnJobs[n.Name] = n.Jobs
+			p.cnOrder = append(p.cnOrder, n.Name)
+		}
+	}
+	return p
+}
+
+// takeACs removes and returns up to n free accelerators.
+func (p *pools) takeACs(n int) []string {
+	if n > len(p.freeACs) {
+		return nil
+	}
+	out := append([]string(nil), p.freeACs[:n]...)
+	p.freeACs = p.freeACs[n:]
+	return out
+}
+
+// takeCNs picks count compute nodes with ppn free cores each that the
+// given job does not already occupy (malleable extension). It returns
+// nil without mutating the pools when the demand cannot be met.
+func (p *pools) takeCNs(count, ppn int, jobID string) []string {
+	var chosen []string
+	for _, cn := range p.cnOrder {
+		if p.cnFree[cn] < ppn || ppn <= 0 {
+			continue
+		}
+		used := false
+		for _, j := range p.cnJobs[cn] {
+			if j == jobID {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		chosen = append(chosen, cn)
+		if len(chosen) == count {
+			break
+		}
+	}
+	if len(chosen) < count {
+		return nil
+	}
+	for _, cn := range chosen {
+		p.cnFree[cn] -= ppn
+		p.cnJobs[cn] = append(p.cnJobs[cn], jobID)
+	}
+	return chosen
+}
+
+// fit tries to place a job (k compute nodes with ppn cores each plus
+// k*acpn accelerators); it returns the chosen hosts without mutating
+// the pools when placement fails.
+func (p *pools) fit(spec pbs.JobSpec, jobID string) (hosts []string, acc map[string][]string, ok bool) {
+	var chosen []string
+	for _, cn := range p.cnOrder {
+		if p.cnFree[cn] >= spec.PPN && spec.PPN >= 0 {
+			if spec.PPN == 0 && p.cnFree[cn] <= 0 {
+				continue
+			}
+			chosen = append(chosen, cn)
+			if len(chosen) == spec.Nodes {
+				break
+			}
+		}
+	}
+	if len(chosen) < spec.Nodes {
+		return nil, nil, false
+	}
+	need := spec.Nodes * spec.ACPN
+	if need > len(p.freeACs) {
+		return nil, nil, false
+	}
+	acc = make(map[string][]string, spec.Nodes)
+	idx := 0
+	for _, cn := range chosen {
+		if spec.ACPN > 0 {
+			acc[cn] = append([]string(nil), p.freeACs[idx:idx+spec.ACPN]...)
+			idx += spec.ACPN
+		}
+	}
+	// Commit.
+	p.freeACs = p.freeACs[need:]
+	for _, cn := range chosen {
+		p.cnFree[cn] -= spec.PPN
+		p.cnJobs[cn] = append(p.cnJobs[cn], jobID)
+	}
+	return chosen, acc, true
+}
+
+// runCycle is one scheduling iteration. It returns false when the
+// fabric has closed.
+func (sc *Scheduler) runCycle() bool {
+	info, err := sc.fetchInfo()
+	if err != nil {
+		return false
+	}
+	sc.sim.Sleep(sc.params.CycleOverhead)
+	sc.mu.Lock()
+	sc.stats.Cycles++
+	if sc.params.FairshareDecay > 0 {
+		for k := range sc.usage {
+			sc.usage[k] *= sc.params.FairshareDecay
+		}
+	}
+	sc.mu.Unlock()
+
+	p := newPools(info.Nodes)
+
+	if sc.params.DynTopPriority {
+		sc.scheduleDyn(info.Dyn, p)
+		sc.scheduleStatic(info, p)
+		return true
+	}
+	// Ablation: merge dynamic requests into the FIFO stream by
+	// arrival time — they wait behind earlier static submissions.
+	sc.schedulePlainFIFO(info, p)
+	return true
+}
+
+// allocDyn picks hosts for one dynamic request according to its kind.
+func (sc *Scheduler) allocDyn(r pbs.SchedDynView, p *pools) []string {
+	if r.Kind == pbs.KindCompute {
+		return p.takeCNs(r.Count, r.PPN, r.JobID)
+	}
+	hosts := p.takeACs(r.Count)
+	if hosts == nil && sc.params.PartialAlloc && len(p.freeACs) > 0 {
+		hosts = p.takeACs(len(p.freeACs))
+	}
+	return hosts
+}
+
+// scheduleDyn serves dynamic requests first, FIFO (paper policy).
+func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools) {
+	for _, r := range reqs {
+		sc.sim.Sleep(sc.params.DynPerReqCost)
+		hosts := sc.allocDyn(r, p)
+		sc.mu.Lock()
+		if len(hosts) > 0 {
+			sc.stats.DynGranted++
+		} else {
+			sc.stats.DynRejected++
+		}
+		sc.mu.Unlock()
+		sc.send(pbs.DynAllocCmd{ReqID: r.ReqID, Hosts: hosts})
+	}
+}
+
+// priority computes a job's dynamic priority.
+func (sc *Scheduler) priority(j pbs.JobInfo) float64 {
+	wait := (sc.sim.Now() - j.SubmittedAt).Seconds()
+	sc.mu.Lock()
+	u := sc.usage[j.Spec.Owner]
+	sc.mu.Unlock()
+	return float64(j.Spec.Priority) + sc.params.QueueTimeWeight*wait - sc.params.FairshareWeight*u
+}
+
+// scheduleStatic orders the queue by priority and places jobs,
+// optionally backfilling behind a blocked head.
+func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools) {
+	queued := append([]pbs.JobInfo(nil), info.Queued...)
+	sort.SliceStable(queued, func(a, b int) bool {
+		return sc.priority(queued[a]) > sc.priority(queued[b])
+	})
+	var shadow time.Duration = -1 // earliest start estimate of the blocked head
+	for _, j := range queued {
+		sc.sim.Sleep(sc.params.PerJobCost)
+		if shadow >= 0 {
+			// A head job is blocked; only backfill candidates that
+			// finish before its reservation may start.
+			if !sc.params.Backfill {
+				continue
+			}
+			if j.Spec.Walltime <= 0 || sc.sim.Now()+j.Spec.Walltime > shadow {
+				continue
+			}
+		}
+		hosts, acc, ok := p.fit(j.Spec, j.ID)
+		if !ok {
+			if shadow < 0 {
+				shadow = sc.shadowTime(info.Running)
+				if !sc.params.Backfill {
+					// Strict FIFO: the blocked head stalls the queue,
+					// but we still pay the examination cost for the
+					// remaining jobs (Maui walks the whole queue).
+					continue
+				}
+			}
+			continue
+		}
+		if shadow >= 0 {
+			sc.mu.Lock()
+			sc.stats.Backfilled++
+			sc.mu.Unlock()
+		}
+		sc.place(j, hosts, acc)
+	}
+}
+
+// schedulePlainFIFO is the DynTopPriority ablation: one stream
+// ordered by arrival, dynamic requests not prioritized.
+func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools) {
+	type item struct {
+		at  time.Duration
+		job *pbs.JobInfo
+		dyn *pbs.SchedDynView
+	}
+	var items []item
+	for i := range info.Queued {
+		items = append(items, item{at: info.Queued[i].SubmittedAt, job: &info.Queued[i]})
+	}
+	for i := range info.Dyn {
+		items = append(items, item{at: info.Dyn[i].ArrivedAt, dyn: &info.Dyn[i]})
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].at < items[b].at })
+	for _, it := range items {
+		if it.dyn != nil {
+			sc.sim.Sleep(sc.params.DynPerReqCost)
+			hosts := sc.allocDyn(*it.dyn, p)
+			sc.mu.Lock()
+			if len(hosts) > 0 {
+				sc.stats.DynGranted++
+			} else {
+				sc.stats.DynRejected++
+			}
+			sc.mu.Unlock()
+			sc.send(pbs.DynAllocCmd{ReqID: it.dyn.ReqID, Hosts: hosts})
+			continue
+		}
+		sc.sim.Sleep(sc.params.PerJobCost)
+		if hosts, acc, ok := p.fit(it.job.Spec, it.job.ID); ok {
+			sc.place(*it.job, hosts, acc)
+		}
+	}
+}
+
+// shadowTime estimates when the blocked head job could start: the
+// latest walltime-predicted end among running jobs (conservative
+// EASY reservation).
+func (sc *Scheduler) shadowTime(running []pbs.JobInfo) time.Duration {
+	end := sc.sim.Now()
+	for _, j := range running {
+		est := j.StartedAt + j.Spec.Walltime
+		if j.StartedAt == 0 {
+			est = sc.sim.Now() + j.Spec.Walltime
+		}
+		if est > end {
+			end = est
+		}
+	}
+	return end
+}
+
+// place commits a static allocation: charge fairshare and notify the
+// server.
+func (sc *Scheduler) place(j pbs.JobInfo, hosts []string, acc map[string][]string) {
+	sc.mu.Lock()
+	sc.stats.JobsPlaced++
+	charge := float64(j.Spec.Nodes) * j.Spec.Walltime.Seconds()
+	if charge <= 0 {
+		charge = float64(j.Spec.Nodes)
+	}
+	sc.usage[j.Spec.Owner] += charge
+	sc.mu.Unlock()
+	sc.send(pbs.AllocCmd{JobID: j.ID, Hosts: hosts, AccHosts: acc})
+}
+
+func (sc *Scheduler) send(payload any) {
+	_ = sc.ep.Send(sc.serverEP, "pbs", payload, 0)
+}

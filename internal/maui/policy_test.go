@@ -1,0 +1,305 @@
+package maui_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/maui"
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// bed is a minimal cluster for policy tests.
+type bed struct {
+	s      *sim.Simulation
+	net    *netsim.Network
+	server *pbs.Server
+	sched  *maui.Scheduler
+	moms   []*pbs.Mom
+}
+
+func newBed(t *testing.T, nCN, nAC int, adjust func(*maui.Params)) *bed {
+	t.Helper()
+	s := sim.New()
+	net := netsim.New(s, netsim.LinkParams{Latency: 200 * time.Microsecond})
+	b := &bed{s: s, net: net}
+	b.server = pbs.NewServer(net, pbs.ServerParams{Processing: 500 * time.Microsecond})
+	mp := maui.DefaultParams()
+	mp.CycleInterval = 20 * time.Millisecond
+	mp.CycleOverhead = time.Millisecond
+	mp.PerJobCost = time.Millisecond
+	mp.DynPerReqCost = time.Millisecond
+	if adjust != nil {
+		adjust(&mp)
+	}
+	b.sched = maui.New(net, pbs.ServerEndpoint, mp)
+	b.server.SetScheduler(b.sched.Endpoint())
+	for i := 0; i < nCN; i++ {
+		name := "cn" + string(rune('0'+i))
+		b.server.AddNode(name, pbs.ComputeNode, 8)
+		m := pbs.NewMom(net, name, pbs.MomParams{})
+		m.Cluster = net
+		b.moms = append(b.moms, m)
+	}
+	for i := 0; i < nAC; i++ {
+		name := "ac" + string(rune('0'+i))
+		b.server.AddNode(name, pbs.AcceleratorNode, 1)
+		m := pbs.NewMom(net, name, pbs.MomParams{})
+		m.Cluster = net
+		b.moms = append(b.moms, m)
+	}
+	return b
+}
+
+func (b *bed) run(t *testing.T, fn func(c *pbs.Client)) {
+	t.Helper()
+	err := b.s.Run(func() {
+		defer b.net.Close()
+		b.server.Start()
+		for _, m := range b.moms {
+			m.Start()
+		}
+		b.sched.Start()
+		c := pbs.NewClient(b.net, "front", pbs.ServerEndpoint)
+		fn(c)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, e := range b.server.Errors() {
+		if !strings.Contains(e, "DynAllocCmd for unknown request") {
+			t.Errorf("server error: %s", e)
+		}
+	}
+}
+
+func sleeper(b *bed, d time.Duration) pbs.Script {
+	return func(env *pbs.JobEnv) { b.s.Sleep(d) }
+}
+
+func TestBackfillLetsShortJobAhead(t *testing.T) {
+	// 1 CN (8 cores). Job A takes 6 cores for 200ms. Job B needs all
+	// 8 cores (blocked behind A). Job C needs 2 cores for 20ms: with
+	// EASY backfill it runs alongside A, before B.
+	check := func(backfill bool) (cStart, bStart time.Duration) {
+		b := newBed(t, 1, 0, func(p *maui.Params) { p.Backfill = backfill })
+		b.run(t, func(c *pbs.Client) {
+			a, _ := c.Submit(pbs.JobSpec{Name: "A", Owner: "u", Nodes: 1, PPN: 6, Walltime: 300 * time.Millisecond, Script: sleeper(b, 200*time.Millisecond)})
+			bb, _ := c.Submit(pbs.JobSpec{Name: "B", Owner: "u", Nodes: 1, PPN: 8, Walltime: 300 * time.Millisecond, Script: sleeper(b, 50*time.Millisecond)})
+			cc, _ := c.Submit(pbs.JobSpec{Name: "C", Owner: "u", Nodes: 1, PPN: 2, Walltime: 20 * time.Millisecond, Script: sleeper(b, 20*time.Millisecond)})
+			c.Wait(a)
+			bi, _ := c.Wait(bb)
+			ci, _ := c.Wait(cc)
+			cStart, bStart = ci.StartedAt, bi.StartedAt
+		})
+		return
+	}
+	cs, bs := check(true)
+	if cs >= bs {
+		t.Errorf("with backfill: C started %v, B started %v — C should go first", cs, bs)
+	}
+	cs, bs = check(false)
+	if cs < bs {
+		t.Errorf("without backfill: C started %v before B %v — strict FIFO violated", cs, bs)
+	}
+}
+
+func TestBackfillRespectsShadowTime(t *testing.T) {
+	// Job C's walltime exceeds the blocked head's reservation, so it
+	// must NOT backfill even though it fits now.
+	b := newBed(t, 1, 0, nil)
+	b.run(t, func(c *pbs.Client) {
+		a, _ := c.Submit(pbs.JobSpec{Name: "A", Owner: "u", Nodes: 1, PPN: 6, Walltime: 100 * time.Millisecond, Script: sleeper(b, 100*time.Millisecond)})
+		bb, _ := c.Submit(pbs.JobSpec{Name: "B", Owner: "u", Nodes: 1, PPN: 8, Walltime: 100 * time.Millisecond, Script: sleeper(b, 30*time.Millisecond)})
+		cc, _ := c.Submit(pbs.JobSpec{Name: "C", Owner: "u", Nodes: 1, PPN: 2, Walltime: 10 * time.Second, Script: sleeper(b, 10*time.Millisecond)})
+		c.Wait(a)
+		bi, _ := c.Wait(bb)
+		ci, _ := c.Wait(cc)
+		if ci.StartedAt < bi.StartedAt {
+			t.Errorf("long-walltime C backfilled ahead of B: C %v, B %v", ci.StartedAt, bi.StartedAt)
+		}
+	})
+	if st := b.sched.Stats(); st.Backfilled != 0 {
+		t.Errorf("backfilled = %d, want 0", st.Backfilled)
+	}
+}
+
+func TestFairsharePenalizesHeavyUser(t *testing.T) {
+	// Heavy user runs a big job first; then one job per user is
+	// queued while the node is busy. The light user's job should be
+	// picked first once resources free, despite being submitted later.
+	b := newBed(t, 1, 0, func(p *maui.Params) {
+		p.FairshareWeight = 100
+		p.QueueTimeWeight = 0.001
+		p.FairshareDecay = 1 // no decay within the test
+		p.Backfill = false
+	})
+	b.run(t, func(c *pbs.Client) {
+		big, _ := c.Submit(pbs.JobSpec{Name: "big", Owner: "heavy", Nodes: 1, PPN: 8, Walltime: time.Second, Script: sleeper(b, 100*time.Millisecond)})
+		b.s.Sleep(30 * time.Millisecond) // let it start
+		h, _ := c.Submit(pbs.JobSpec{Name: "h2", Owner: "heavy", Nodes: 1, PPN: 8, Walltime: time.Second, Script: sleeper(b, 10*time.Millisecond)})
+		l, _ := c.Submit(pbs.JobSpec{Name: "l1", Owner: "light", Nodes: 1, PPN: 8, Walltime: time.Second, Script: sleeper(b, 10*time.Millisecond)})
+		c.Wait(big)
+		hi, _ := c.Wait(h)
+		li, _ := c.Wait(l)
+		if li.StartedAt >= hi.StartedAt {
+			t.Errorf("light user's job started %v, heavy user's %v — fairshare ineffective", li.StartedAt, hi.StartedAt)
+		}
+	})
+	if b.sched.Usage("heavy") <= b.sched.Usage("light") {
+		t.Errorf("usage heavy=%v light=%v", b.sched.Usage("heavy"), b.sched.Usage("light"))
+	}
+}
+
+func TestQueueTimeRaisesPriority(t *testing.T) {
+	// Two equal jobs: the one submitted earlier runs first under
+	// queue-time priority.
+	b := newBed(t, 1, 0, func(p *maui.Params) { p.Backfill = false })
+	b.run(t, func(c *pbs.Client) {
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "blk", Owner: "u", Nodes: 1, PPN: 8, Walltime: 100 * time.Millisecond, Script: sleeper(b, 100*time.Millisecond)})
+		first, _ := c.Submit(pbs.JobSpec{Name: "first", Owner: "u", Nodes: 1, PPN: 8, Walltime: 50 * time.Millisecond, Script: sleeper(b, 10*time.Millisecond)})
+		b.s.Sleep(30 * time.Millisecond)
+		second, _ := c.Submit(pbs.JobSpec{Name: "second", Owner: "u", Nodes: 1, PPN: 8, Walltime: 50 * time.Millisecond, Script: sleeper(b, 10*time.Millisecond)})
+		c.Wait(blocker)
+		fi, _ := c.Wait(first)
+		si, _ := c.Wait(second)
+		if fi.StartedAt >= si.StartedAt {
+			t.Errorf("first submitted started %v, later one %v", fi.StartedAt, si.StartedAt)
+		}
+	})
+}
+
+func TestBasePriorityBeatsQueueTime(t *testing.T) {
+	b := newBed(t, 1, 0, func(p *maui.Params) {
+		p.Backfill = false
+		p.QueueTimeWeight = 0.01
+	})
+	b.run(t, func(c *pbs.Client) {
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "blk", Owner: "u", Nodes: 1, PPN: 8, Walltime: 100 * time.Millisecond, Script: sleeper(b, 100*time.Millisecond)})
+		low, _ := c.Submit(pbs.JobSpec{Name: "low", Owner: "u", Nodes: 1, PPN: 8, Priority: 0, Walltime: 50 * time.Millisecond, Script: sleeper(b, 10*time.Millisecond)})
+		high, _ := c.Submit(pbs.JobSpec{Name: "high", Owner: "u", Nodes: 1, PPN: 8, Priority: 1000, Walltime: 50 * time.Millisecond, Script: sleeper(b, 10*time.Millisecond)})
+		c.Wait(blocker)
+		li, _ := c.Wait(low)
+		hi, _ := c.Wait(high)
+		if hi.StartedAt >= li.StartedAt {
+			t.Errorf("high-priority job started %v after low %v", hi.StartedAt, li.StartedAt)
+		}
+	})
+}
+
+func TestDynTopPriorityBeatsBacklog(t *testing.T) {
+	// With top priority, a dynamic request is serviced even though a
+	// long backlog of unsatisfiable jobs sits in the queue.
+	b := newBed(t, 2, 2, nil)
+	b.run(t, func(c *pbs.Client) {
+		var dynDone time.Duration
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "dac", Owner: "u", Nodes: 1, PPN: 8, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				b.s.Sleep(30 * time.Millisecond)
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				if _, err := cl.DynGet(env.JobID, env.Host, 1); err != nil {
+					t.Errorf("DynGet: %v", err)
+				}
+				dynDone = b.s.Now()
+			},
+		})
+		// Backlog: 10 jobs that can never run (ask for 5 CNs).
+		for i := 0; i < 10; i++ {
+			c.Submit(pbs.JobSpec{Name: "stuck", Owner: "u", Nodes: 5, PPN: 8, Walltime: time.Second, Script: sleeper(b, time.Millisecond)})
+		}
+		c.Wait(id)
+		if dynDone == 0 {
+			t.Fatal("dynamic request never completed")
+		}
+	})
+	st := b.sched.Stats()
+	if st.DynGranted != 1 {
+		t.Errorf("DynGranted = %d", st.DynGranted)
+	}
+}
+
+func TestPlainFIFOAblationServicesDynAfterBacklog(t *testing.T) {
+	// Ablation: without top priority, the dynamic request is examined
+	// after the earlier-submitted queued jobs in every cycle; it still
+	// completes (the backlog is unsatisfiable), but the scheduler
+	// walks the backlog first.
+	b := newBed(t, 2, 2, func(p *maui.Params) { p.DynTopPriority = false })
+	b.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "dac", Owner: "u", Nodes: 1, PPN: 8, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				b.s.Sleep(30 * time.Millisecond)
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				if _, err := cl.DynGet(env.JobID, env.Host, 1); err != nil {
+					t.Errorf("DynGet: %v", err)
+				}
+			},
+		})
+		for i := 0; i < 5; i++ {
+			c.Submit(pbs.JobSpec{Name: "stuck", Owner: "u", Nodes: 5, PPN: 8, Walltime: time.Second, Script: sleeper(b, time.Millisecond)})
+		}
+		info, _ := c.Wait(id)
+		if len(info.DynRecords) != 1 || info.DynRecords[0].State != pbs.DynGranted {
+			t.Errorf("DynRecords = %+v", info.DynRecords)
+		}
+	})
+	if st := b.sched.Stats(); st.DynGranted != 1 {
+		t.Errorf("DynGranted = %d", st.DynGranted)
+	}
+}
+
+func TestPartialAllocGrantsWhatIsFree(t *testing.T) {
+	b := newBed(t, 1, 3, func(p *maui.Params) { p.PartialAlloc = true })
+	b.run(t, func(c *pbs.Client) {
+		var grant pbs.DynGrant
+		var err error
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "dac", Owner: "u", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				grant, err = cl.DynGet(env.JobID, env.Host, 5) // only 2 free
+			},
+		})
+		c.Wait(id)
+		if err != nil {
+			t.Errorf("DynGet with PartialAlloc: %v", err)
+		}
+		if len(grant.Hosts) != 2 {
+			t.Errorf("partial grant = %v, want 2 hosts", grant.Hosts)
+		}
+	})
+}
+
+func TestPartialAllocOffRejects(t *testing.T) {
+	b := newBed(t, 1, 3, nil)
+	b.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "dac", Owner: "u", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				if _, err := cl.DynGet(env.JobID, env.Host, 5); err == nil {
+					t.Error("expected rejection without PartialAlloc")
+				}
+			},
+		})
+		c.Wait(id)
+	})
+	if st := b.sched.Stats(); st.DynRejected != 1 {
+		t.Errorf("DynRejected = %d", st.DynRejected)
+	}
+}
+
+func TestSchedulerStatsCycles(t *testing.T) {
+	b := newBed(t, 1, 0, nil)
+	b.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{Name: "j", Owner: "u", Nodes: 1, PPN: 1, Walltime: time.Second, Script: sleeper(b, 10*time.Millisecond)})
+		c.Wait(id)
+	})
+	st := b.sched.Stats()
+	if st.Cycles == 0 || st.JobsPlaced != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,171 @@
+package maui
+
+import (
+	"testing"
+
+	"repro/internal/pbs"
+)
+
+func nodes(cns, acs int) []pbs.NodeInfo {
+	var out []pbs.NodeInfo
+	for i := 0; i < cns; i++ {
+		out = append(out, pbs.NodeInfo{Name: cn(i), Type: pbs.ComputeNode, Cores: 8})
+	}
+	for i := 0; i < acs; i++ {
+		out = append(out, pbs.NodeInfo{Name: ac(i), Type: pbs.AcceleratorNode, Cores: 1})
+	}
+	return out
+}
+
+func cn(i int) string { return "cn" + string(rune('0'+i)) }
+func ac(i int) string { return "ac" + string(rune('0'+i)) }
+
+func TestPoolsFitSingleNode(t *testing.T) {
+	p := newPools(nodes(2, 0))
+	hosts, acc, ok := p.fit(pbs.JobSpec{Nodes: 1, PPN: 4}, "tj")
+	if !ok || len(hosts) != 1 || len(acc) != 0 {
+		t.Fatalf("fit = %v %v %v", hosts, acc, ok)
+	}
+	if p.cnFree[hosts[0]] != 4 {
+		t.Fatalf("free cores = %d, want 4", p.cnFree[hosts[0]])
+	}
+}
+
+func TestPoolsFitMultiNodeWithAccelerators(t *testing.T) {
+	p := newPools(nodes(3, 6))
+	hosts, acc, ok := p.fit(pbs.JobSpec{Nodes: 2, PPN: 8, ACPN: 3}, "tj")
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %v", hosts)
+	}
+	total := 0
+	for _, cn := range hosts {
+		if len(acc[cn]) != 3 {
+			t.Fatalf("acc[%s] = %v", cn, acc[cn])
+		}
+		total += len(acc[cn])
+	}
+	if total != 6 || len(p.freeACs) != 0 {
+		t.Fatalf("accelerators not fully assigned: %v free %v", acc, p.freeACs)
+	}
+}
+
+func TestPoolsFitInsufficientComputeNodes(t *testing.T) {
+	p := newPools(nodes(1, 0))
+	if _, _, ok := p.fit(pbs.JobSpec{Nodes: 2, PPN: 1}, "tj"); ok {
+		t.Fatal("fit should fail with 1 CN for a 2-node job")
+	}
+	// Failure must not consume resources.
+	if p.cnFree["cn0"] != 8 {
+		t.Fatalf("failed fit consumed cores: %d", p.cnFree["cn0"])
+	}
+}
+
+func TestPoolsFitInsufficientAccelerators(t *testing.T) {
+	p := newPools(nodes(1, 2))
+	if _, _, ok := p.fit(pbs.JobSpec{Nodes: 1, PPN: 1, ACPN: 3}, "tj"); ok {
+		t.Fatal("fit should fail: 3 ACs requested, 2 free")
+	}
+	if len(p.freeACs) != 2 || p.cnFree["cn0"] != 8 {
+		t.Fatal("failed fit consumed resources")
+	}
+}
+
+func TestPoolsFitInsufficientCores(t *testing.T) {
+	ns := nodes(1, 0)
+	ns[0].UsedCores = 6
+	p := newPools(ns)
+	if _, _, ok := p.fit(pbs.JobSpec{Nodes: 1, PPN: 4}, "tj"); ok {
+		t.Fatal("fit should fail: 4 cores requested, 2 free")
+	}
+	if _, _, ok := p.fit(pbs.JobSpec{Nodes: 1, PPN: 2}, "tj"); !ok {
+		t.Fatal("fit should succeed with 2 free cores")
+	}
+}
+
+func TestPoolsFitSkipsBusyAccelerators(t *testing.T) {
+	ns := nodes(1, 2)
+	ns[1].Jobs = []string{"1.srv"} // ac0 busy
+	p := newPools(ns)
+	hosts, acc, ok := p.fit(pbs.JobSpec{Nodes: 1, PPN: 1, ACPN: 1}, "tj")
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if acc[hosts[0]][0] != "ac1" {
+		t.Fatalf("assigned busy accelerator: %v", acc)
+	}
+}
+
+func TestTakeACs(t *testing.T) {
+	p := newPools(nodes(0, 3))
+	got := p.takeACs(2)
+	if len(got) != 2 || len(p.freeACs) != 1 {
+		t.Fatalf("takeACs = %v, remaining %v", got, p.freeACs)
+	}
+	if p.takeACs(2) != nil {
+		t.Fatal("takeACs should fail when short")
+	}
+	if got := p.takeACs(1); len(got) != 1 {
+		t.Fatalf("takeACs(1) = %v", got)
+	}
+	if got := p.takeACs(0); len(got) != 0 {
+		t.Fatalf("takeACs(0) = %v, want empty", got)
+	}
+}
+
+func TestTakeCNsMalleable(t *testing.T) {
+	ns := nodes(3, 0)
+	ns[0].Jobs = []string{"1.srv"} // cn0 partially used by the requesting job
+	ns[0].UsedCores = 4
+	p := newPools(ns)
+	got := p.takeCNs(2, 4, "1.srv")
+	if len(got) != 2 {
+		t.Fatalf("takeCNs = %v", got)
+	}
+	for _, cn := range got {
+		if cn == "cn0" {
+			t.Fatalf("granted the job's own node: %v", got)
+		}
+	}
+	if p.cnFree["cn1"] != 4 || p.cnFree["cn2"] != 4 {
+		t.Fatalf("cores not committed: %v", p.cnFree)
+	}
+}
+
+func TestTakeCNsInsufficient(t *testing.T) {
+	p := newPools(nodes(2, 0))
+	if got := p.takeCNs(3, 1, "j"); got != nil {
+		t.Fatalf("takeCNs should fail, got %v", got)
+	}
+	if p.cnFree["cn0"] != 8 || p.cnFree["cn1"] != 8 {
+		t.Fatal("failed takeCNs consumed cores")
+	}
+	if got := p.takeCNs(1, 9, "j"); got != nil {
+		t.Fatalf("ppn beyond capacity should fail, got %v", got)
+	}
+	if got := p.takeCNs(1, 0, "j"); got != nil {
+		t.Fatalf("non-positive ppn should fail, got %v", got)
+	}
+}
+
+func TestTakeCNsSkipsDownNodes(t *testing.T) {
+	ns := nodes(2, 0)
+	ns[0].Down = true
+	p := newPools(ns)
+	got := p.takeCNs(1, 1, "j")
+	if len(got) != 1 || got[0] != "cn1" {
+		t.Fatalf("takeCNs = %v, want [cn1]", got)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if !p.DynTopPriority || !p.Backfill {
+		t.Fatal("defaults should enable DynTopPriority and Backfill")
+	}
+	if p.Endpoint != DefaultEndpoint {
+		t.Fatalf("endpoint = %q", p.Endpoint)
+	}
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGanttRender(t *testing.T) {
+	g := Gantt{Title: "timeline", Width: 40}
+	g.Add("job1", 0, 0, 100*time.Millisecond)
+	g.Add("job2", 0, 50*time.Millisecond, 200*time.Millisecond)
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "timeline") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 2 bars + axis
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// job2 shows a queued prefix of dots before its run.
+	if !strings.Contains(lines[2], ".") || !strings.Contains(lines[2], "#") {
+		t.Errorf("job2 row = %q", lines[2])
+	}
+	// job1 starts at the left edge.
+	if !strings.Contains(lines[1], "|#") {
+		t.Errorf("job1 row = %q", lines[1])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	g := Gantt{Title: "none"}
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(empty)") {
+		t.Errorf("out = %q", b.String())
+	}
+}
+
+func TestGanttInstantaneousJobStillVisible(t *testing.T) {
+	g := Gantt{Width: 20}
+	g.Add("blip", 0, 0, 0)
+	g.Add("long", 0, 0, time.Second)
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if !strings.Contains(lines[0], "#") {
+		t.Errorf("zero-length bar invisible: %q", lines[0])
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	g := Gantt{}
+	g.Add("j", 0, 0, time.Second)
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(b.String(), "\n")[0]) < 60 {
+		t.Errorf("default width not applied: %q", b.String())
+	}
+}

@@ -1,0 +1,161 @@
+// Package metrics provides the small statistics and rendering
+// helpers the experiment drivers use: multi-trial samples (the paper
+// reports averages over 10 trials) and aligned text tables for the
+// figure data.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Sample accumulates duration observations.
+type Sample struct {
+	values []float64 // seconds
+}
+
+// Add appends one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.values = append(s.values, d.Seconds())
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the average observation (zero when empty).
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return durOf(sum / float64(len(s.values)))
+}
+
+// Std returns the population standard deviation.
+func (s *Sample) Std() time.Duration {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean().Seconds()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		sum += d * d
+	}
+	return durOf(math.Sqrt(sum / float64(n)))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return durOf(m)
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return durOf(m)
+}
+
+func durOf(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Ms formats a duration as milliseconds with one decimal, the unit
+// the figures use.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+// Sec formats a duration as seconds with three decimals.
+func Sec(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// Table is an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (no quoting; the
+// experiment cells never contain commas).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

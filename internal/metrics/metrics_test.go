@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, d := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond} {
+		s.Add(d)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 200*time.Millisecond {
+		t.Errorf("mean = %v", got)
+	}
+	if got := s.Min(); got != 100*time.Millisecond {
+		t.Errorf("min = %v", got)
+	}
+	if got := s.Max(); got != 300*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	// Population stddev of {0.1,0.2,0.3} = sqrt(2/3)*0.1 ≈ 81.65ms.
+	want := time.Duration(math.Sqrt(2.0/3.0) * 0.1 * float64(time.Second))
+	if diff := s.Std() - want; diff > time.Microsecond || diff < -time.Microsecond {
+		t.Errorf("std = %v, want ≈%v", s.Std(), want)
+	}
+}
+
+func TestSamplePropertyMinLEMeanLEMax(t *testing.T) {
+	if err := quick.Check(func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if got := Ms(1500 * time.Microsecond); got != "1.5" {
+		t.Errorf("Ms = %q", got)
+	}
+	if got := Sec(250 * time.Millisecond); got != "0.250" {
+		t.Errorf("Sec = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "Fig X", Headers: []string{"n", "time"}}
+	tb.AddRow("1", "0.1")
+	tb.AddRow("10", "0.25")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig X", "n ", "time", "--", "10", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", got)
+	}
+}

@@ -1,0 +1,401 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestConnectAcceptBuildsIntercomm mirrors the static-allocation path
+// of the paper (Section III-C): the accelerator daemons open a port,
+// the compute node connects, and both sides obtain an
+// intercommunicator.
+func TestConnectAcceptBuildsIntercomm(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{ConnectOverhead: 2 * time.Millisecond})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 4)
+		portCh := make(chan string, 1) // handed off before any Recv parks, safe
+
+		// Accelerator side: world of 3 daemons, root opens a port.
+		rt.LaunchWorld([]string{"ac0", "ac1", "ac2"}, "daemons", func(p *Proc) {
+			defer j.done()
+			w := p.World()
+			var port string
+			if w.Rank() == 0 {
+				port = p.OpenPort()
+				portCh <- port
+			}
+			inter, err := p.Accept(port, w)
+			if w.Rank() != 0 {
+				// Non-roots pass the port only via the collective.
+				_ = port
+			}
+			if err != nil {
+				t.Errorf("Accept: %v", err)
+				return
+			}
+			if inter.RemoteSize() != 1 || inter.Size() != 3 {
+				t.Errorf("daemon intercomm: local=%d remote=%d", inter.Size(), inter.RemoteSize())
+			}
+			// Receive one message from the compute node.
+			st, err := inter.Recv(0, 1)
+			if err != nil || st.Payload.(string) != "hello" {
+				t.Errorf("daemon recv: %v %v", st, err)
+			}
+		})
+
+		// Compute node side.
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			port := <-portCh
+			inter, err := p.Connect(port, p.World())
+			if err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			if inter.RemoteSize() != 3 || inter.Size() != 1 {
+				t.Errorf("cn intercomm: local=%d remote=%d", inter.Size(), inter.RemoteSize())
+			}
+			for i := 0; i < 3; i++ {
+				if err := inter.Send(i, 1, "hello", 0); err != nil {
+					t.Errorf("Send: %v", err)
+				}
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestMergeRanksMatchPaper verifies the rank layout of Section III-C:
+// after merging, the compute node holds rank 0 and the accelerators
+// ranks 1..x.
+func TestMergeRanksMatchPaper(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		const acs = 3
+		j := newJoin(s, acs+1)
+		portCh := make(chan string, 1)
+		ranks := make(chan int, acs)
+
+		rt.LaunchWorld([]string{"ac0", "ac1", "ac2"}, "daemons", func(p *Proc) {
+			defer j.done()
+			w := p.World()
+			var port string
+			if w.Rank() == 0 {
+				port = p.OpenPort()
+				portCh <- port
+			}
+			inter, err := p.Accept(port, w)
+			if err != nil {
+				t.Errorf("Accept: %v", err)
+				return
+			}
+			intra, err := inter.Merge(true)
+			if err != nil {
+				t.Errorf("Merge: %v", err)
+				return
+			}
+			ranks <- intra.Rank()
+			if intra.Size() != acs+1 {
+				t.Errorf("merged size = %d, want %d", intra.Size(), acs+1)
+			}
+		})
+
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			inter, err := p.Connect(<-portCh, p.World())
+			if err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			intra, err := inter.Merge(false)
+			if err != nil {
+				t.Errorf("Merge: %v", err)
+				return
+			}
+			if intra.Rank() != 0 {
+				t.Errorf("compute node rank = %d, want 0", intra.Rank())
+			}
+		})
+		j.wait()
+		close(ranks)
+		seen := map[int]bool{}
+		for r := range ranks {
+			if r < 1 || r > acs {
+				t.Errorf("accelerator rank %d out of 1..%d", r, acs)
+			}
+			seen[r] = true
+		}
+		if len(seen) != acs {
+			t.Errorf("accelerator ranks not distinct: %v", seen)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestSpawnBuildsIntercomm mirrors the dynamic-allocation path
+// (Section III-D): the compute node spawns daemons, which see a
+// parent intercommunicator.
+func TestSpawnBuildsIntercomm(t *testing.T) {
+	const startup = 40 * time.Millisecond
+	s, rt, n := testRuntime(t, Config{ProcStartup: startup})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1+2)
+		rt.Register("acdaemon", func(p *Proc, args []string) {
+			defer j.done()
+			if p.Parent() == nil {
+				t.Error("spawned daemon has no parent comm")
+				return
+			}
+			if got := p.Parent().RemoteSize(); got != 1 {
+				t.Errorf("parent remote size = %d", got)
+			}
+			if len(args) != 1 || args[0] != "-serve" {
+				t.Errorf("args = %v", args)
+			}
+			st, err := p.Parent().Recv(0, 5)
+			if err != nil || st.Payload.(string) != "work" {
+				t.Errorf("daemon recv: %v %v", st, err)
+			}
+		})
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			start := s.Now()
+			inter, err := p.Spawn("acdaemon", []string{"-serve"}, []string{"ac0", "ac1"})
+			if err != nil {
+				t.Errorf("Spawn: %v", err)
+				return
+			}
+			// Spawn blocks for parallel startup + ready latency.
+			if got := s.Now() - start; got < startup {
+				t.Errorf("Spawn returned after %v, want >= %v", got, startup)
+			}
+			if got := s.Now() - start; got > startup+10*testLatency {
+				t.Errorf("Spawn took %v; children should boot in parallel", got)
+			}
+			if inter.RemoteSize() != 2 {
+				t.Errorf("remote size = %d, want 2", inter.RemoteSize())
+			}
+			for i := 0; i < 2; i++ {
+				if err := inter.Send(i, 5, "work", 0); err != nil {
+					t.Errorf("Send: %v", err)
+				}
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestSpawnMergeRanks verifies Section III-D's layout after a dynamic
+// allocation: old ranks keep 0..x, new accelerators get x+1..x+y.
+func TestSpawnMergeRanks(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1+2)
+		ranks := make(chan int, 2)
+		rt.Register("acdaemon", func(p *Proc, args []string) {
+			defer j.done()
+			intra, err := p.Parent().Merge(true)
+			if err != nil {
+				t.Errorf("Merge: %v", err)
+				return
+			}
+			ranks <- intra.Rank()
+		})
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			inter, err := p.Spawn("acdaemon", nil, []string{"ac0", "ac1"})
+			if err != nil {
+				t.Errorf("Spawn: %v", err)
+				return
+			}
+			intra, err := inter.Merge(false)
+			if err != nil {
+				t.Errorf("Merge: %v", err)
+				return
+			}
+			if intra.Rank() != 0 {
+				t.Errorf("parent rank = %d, want 0", intra.Rank())
+			}
+		})
+		j.wait()
+		close(ranks)
+		seen := map[int]bool{}
+		for r := range ranks {
+			seen[r] = true
+		}
+		if !seen[1] || !seen[2] {
+			t.Errorf("spawned ranks = %v, want {1,2}", seen)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSpawnUnknownCommand(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1)
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			if _, err := p.Spawn("nope", nil, []string{"h"}); !errors.Is(err, ErrUnknownCommand) {
+				t.Errorf("err = %v", err)
+			}
+			if _, err := p.Spawn("nope", nil, nil); err == nil {
+				t.Error("Spawn with no hosts should fail")
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestConnectUnknownPort(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1)
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			if _, err := p.Connect("bogus", p.World()); !errors.Is(err, ErrUnknownPort) {
+				t.Errorf("err = %v", err)
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestClosePortWithdraws(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1)
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			port := p.OpenPort()
+			p.ClosePort(port)
+			if _, err := p.Connect(port, p.World()); !errors.Is(err, ErrUnknownPort) {
+				t.Errorf("err = %v", err)
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMergeOnIntracommFails(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1)
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			if _, err := p.World().Merge(false); !errors.Is(err, ErrNotIntercomm) {
+				t.Errorf("err = %v", err)
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestDisconnectInvalidatesComm mirrors AC_Free's use of
+// MPI_Comm_disconnect before releasing accelerators.
+func TestDisconnectInvalidatesComm(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 2)
+		rt.Register("acdaemon", func(p *Proc, args []string) {
+			defer j.done()
+			if err := p.Parent().Disconnect(); err != nil {
+				t.Errorf("daemon Disconnect: %v", err)
+			}
+		})
+		rt.Launch("cn0", "app", func(p *Proc) {
+			defer j.done()
+			inter, err := p.Spawn("acdaemon", nil, []string{"ac0"})
+			if err != nil {
+				t.Errorf("Spawn: %v", err)
+				return
+			}
+			if err := inter.Disconnect(); err != nil {
+				t.Errorf("Disconnect: %v", err)
+				return
+			}
+			if err := inter.Send(0, 1, nil, 0); !errors.Is(err, ErrDisconnected) {
+				t.Errorf("Send after disconnect: %v", err)
+			}
+			if _, err := inter.Recv(0, 1); !errors.Is(err, ErrDisconnected) {
+				t.Errorf("Recv after disconnect: %v", err)
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestSpawnStaggeredVsParallel is a property of the spawn model the
+// figure calibration relies on: total spawn latency is flat in the
+// number of children.
+func TestSpawnFlatInChildCount(t *testing.T) {
+	const startup = 50 * time.Millisecond
+	timeFor := func(nchildren int) time.Duration {
+		s, rt, n := testRuntime(t, Config{ProcStartup: startup})
+		var took time.Duration
+		err := s.Run(func() {
+			defer n.Close()
+			j := newJoin(s, 1+nchildren)
+			rt.Register("d", func(p *Proc, args []string) { j.done() })
+			rt.Launch("cn0", "app", func(p *Proc) {
+				defer j.done()
+				hosts := make([]string, nchildren)
+				for i := range hosts {
+					hosts[i] = "ac"
+				}
+				start := s.Now()
+				if _, err := p.Spawn("d", nil, hosts); err != nil {
+					t.Errorf("Spawn: %v", err)
+				}
+				took = s.Now() - start
+			})
+			j.wait()
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return took
+	}
+	t1, t6 := timeFor(1), timeFor(6)
+	if t6 < t1 {
+		t.Fatalf("spawn(6)=%v < spawn(1)=%v", t6, t1)
+	}
+	if t6 > t1+5*testLatency {
+		t.Fatalf("spawn(6)=%v not flat vs spawn(1)=%v", t6, t1)
+	}
+}

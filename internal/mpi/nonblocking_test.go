@@ -1,0 +1,198 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 2)
+		rt.LaunchWorld([]string{"h0", "h1"}, "nb", func(p *Proc) {
+			defer j.done()
+			w := p.World()
+			if w.Rank() == 0 {
+				req := w.Isend(1, 1, "data", 0)
+				if _, err := req.Wait(); err != nil {
+					t.Errorf("Isend wait: %v", err)
+				}
+			} else {
+				req := w.Irecv(0, 1)
+				// Overlap: compute while the receive is posted.
+				s.Sleep(5 * time.Millisecond)
+				st, err := req.Wait()
+				if err != nil || st.Payload.(string) != "data" {
+					t.Errorf("Irecv: %v %v", st, err)
+				}
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1)
+		rt.Launch("h0", "app", func(p *Proc) {
+			defer j.done()
+			req := p.World().Irecv(AnySource, 1)
+			if _, done, _ := req.Test(); done {
+				t.Error("unmatched Irecv reports done")
+			}
+			if err := p.World().Send(0, 1, "self", 0); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+			st, err := req.Wait()
+			if err != nil || st.Payload.(string) != "self" {
+				t.Errorf("Wait: %v %v", st, err)
+			}
+			if _, done, _ := req.Test(); !done {
+				t.Error("completed request reports pending")
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 2)
+		rt.LaunchWorld([]string{"h0", "h1"}, "wa", func(p *Proc) {
+			defer j.done()
+			w := p.World()
+			if w.Rank() == 0 {
+				var reqs []*Request
+				for i := 0; i < 5; i++ {
+					reqs = append(reqs, w.Irecv(1, i))
+				}
+				if err := WaitAll(reqs...); err != nil {
+					t.Errorf("WaitAll: %v", err)
+				}
+			} else {
+				for i := 4; i >= 0; i-- { // reversed order still matches
+					if err := w.Send(0, i, i, 0); err != nil {
+						t.Errorf("Send: %v", err)
+					}
+				}
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 2)
+		rt.LaunchWorld([]string{"h0", "h1"}, "sr", func(p *Proc) {
+			defer j.done()
+			w := p.World()
+			peer := 1 - w.Rank()
+			// Head-to-head exchange: both ranks Sendrecv at once.
+			st, err := w.Sendrecv(peer, 1, w.Rank(), 0, peer, 1)
+			if err != nil {
+				t.Errorf("Sendrecv: %v", err)
+				return
+			}
+			if st.Payload.(int) != peer {
+				t.Errorf("rank %d received %v, want %d", w.Rank(), st.Payload, peer)
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 3)
+		rt.LaunchWorld([]string{"h0", "h1", "h2"}, "sc", func(p *Proc) {
+			defer j.done()
+			w := p.World()
+			var vals []any
+			if w.Rank() == 1 {
+				vals = []any{10, 11, 12}
+			}
+			got, err := w.Scatter(1, vals, 8)
+			if err != nil {
+				t.Errorf("Scatter: %v", err)
+				return
+			}
+			if got.(int) != 10+w.Rank() {
+				t.Errorf("rank %d got %v", w.Rank(), got)
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestScatterBadArguments(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 1)
+		rt.Launch("h0", "app", func(p *Proc) {
+			defer j.done()
+			if _, err := p.World().Scatter(2, nil, 0); err == nil {
+				t.Error("bad root should fail")
+			}
+			if _, err := p.World().Scatter(0, []any{1, 2}, 0); err == nil {
+				t.Error("wrong value count should fail")
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	s, rt, n := testRuntime(t, Config{})
+	err := s.Run(func() {
+		defer n.Close()
+		j := newJoin(s, 4)
+		rt.LaunchWorld([]string{"h0", "h1", "h2", "h3"}, "ag", func(p *Proc) {
+			defer j.done()
+			w := p.World()
+			vals, err := w.Allgather(w.Rank()*w.Rank(), 8)
+			if err != nil {
+				t.Errorf("Allgather: %v", err)
+				return
+			}
+			for i, v := range vals {
+				if v.(int) != i*i {
+					t.Errorf("rank %d: vals[%d] = %v", w.Rank(), i, v)
+				}
+			}
+		})
+		j.wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestHostOf(t *testing.T) {
+	cases := map[string]string{
+		"pbs/mom@ac1":    "ac1",
+		"mpi/p7@cn0":     "cn0",
+		"pbs/server":     "pbs/server",
+		"a@b@c":          "c",
+		"ifl/front#1":    "ifl/front#1",
+		"daemon@ac0@ac0": "ac0",
+	}
+	for in, want := range cases {
+		if got := HostOf(in); got != want {
+			t.Errorf("HostOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSetHostDownCutsAllHostEndpoints(t *testing.T) {
+	run(t, func(s *sim.Simulation, n *Network) {
+		mom := n.Endpoint("pbs/mom@ac1")
+		mpi := n.Endpoint("mpi/p3@ac1")
+		other := n.Endpoint("pbs/mom@ac2")
+		sink := n.Endpoint("sink")
+
+		n.SetHostDown("ac1", true)
+		mom.Send("sink", "hb", 1, 0)
+		mpi.Send("sink", "msg", 2, 0)
+		other.Send("sink", "hb", 3, 0)
+
+		m, err := sink.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if m.From != "pbs/mom@ac2" {
+			t.Fatalf("unexpected sender %s", m.From)
+		}
+		if _, err := sink.RecvTimeout(10 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("messages from dead host leaked: %v", err)
+		}
+
+		// Traffic *to* the dead host is dropped too.
+		sink.Send("pbs/mom@ac1", "cmd", 4, 0)
+		if _, err := mom.RecvTimeout(10 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("message to dead host delivered: %v", err)
+		}
+
+		// Revival restores both directions.
+		n.SetHostDown("ac1", false)
+		mom.Send("sink", "hb", 5, 0)
+		if m, err := sink.Recv(); err != nil || m.Payload.(int) != 5 {
+			t.Fatalf("after revival: %v %v", m, err)
+		}
+	})
+}
+
+func TestTraceObserverSeesDeliveries(t *testing.T) {
+	s := sim.New()
+	n := New(s, LinkParams{Latency: time.Millisecond})
+	var seen []string
+	n.Trace(func(m *Message) { seen = append(seen, m.Tag) })
+	err := s.Run(func() {
+		defer n.Close()
+		a, b := n.Endpoint("a"), n.Endpoint("b")
+		a.Send("b", "one", 1, 0)
+		a.Send("b", "two", 2, 0)
+		b.Recv()
+		b.Recv()
+		n.Trace(nil) // disable
+		a.Send("b", "three", 3, 0)
+		b.Recv()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) != 2 || seen[0] != "one" || seen[1] != "two" {
+		t.Fatalf("trace = %v", seen)
+	}
+}
+
+func TestJitterPerturbsWithinBounds(t *testing.T) {
+	s := sim.New()
+	n := New(s, LinkParams{Latency: 10 * time.Millisecond, JitterFrac: 0.2})
+	n.Seed(7)
+	err := s.Run(func() {
+		defer n.Close()
+		a, b := n.Endpoint("a"), n.Endpoint("b")
+		varied := false
+		for i := 0; i < 20; i++ {
+			sent := s.Now()
+			a.Send("b", "t", i, 0)
+			m, err := b.Recv()
+			if err != nil {
+				t.Fatalf("Recv: %v", err)
+			}
+			d := m.Delivered - sent
+			if d < 8*time.Millisecond || d > 12*time.Millisecond {
+				t.Fatalf("jittered delay %v outside ±20%% of 10ms", d)
+			}
+			if d != 10*time.Millisecond {
+				varied = true
+			}
+		}
+		if !varied {
+			t.Fatal("jitter never perturbed the delay")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestJitterPreservesPairFIFO(t *testing.T) {
+	s := sim.New()
+	n := New(s, LinkParams{Latency: 10 * time.Millisecond, JitterFrac: 0.9})
+	n.Seed(3)
+	err := s.Run(func() {
+		defer n.Close()
+		a, b := n.Endpoint("a"), n.Endpoint("b")
+		const burst = 50
+		for i := 0; i < burst; i++ {
+			a.Send("b", "seq", i, 0)
+		}
+		for i := 0; i < burst; i++ {
+			m, err := b.Recv()
+			if err != nil || m.Payload.(int) != i {
+				t.Fatalf("out of order under jitter: got %v want %d (err %v)", m.Payload, i, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestJitterSeedsReproducible(t *testing.T) {
+	deliver := func(seed uint64) time.Duration {
+		s := sim.New()
+		n := New(s, LinkParams{Latency: 10 * time.Millisecond, JitterFrac: 0.5})
+		n.Seed(seed)
+		var d time.Duration
+		s.Run(func() {
+			defer n.Close()
+			a, b := n.Endpoint("a"), n.Endpoint("b")
+			a.Send("b", "t", nil, 0)
+			m, _ := b.Recv()
+			d = m.Delivered
+		})
+		return d
+	}
+	if deliver(5) != deliver(5) {
+		t.Fatal("same seed, different delay")
+	}
+	if deliver(5) == deliver(6) {
+		t.Fatal("different seeds produced identical delay (suspicious)")
+	}
+}
+
+func TestSetHostDownDoesNotAffectHostlessEndpoints(t *testing.T) {
+	run(t, func(s *sim.Simulation, n *Network) {
+		srv := n.Endpoint("pbs/server")
+		cli := n.Endpoint("client")
+		n.SetHostDown("ac0", true)
+		cli.Send("pbs/server", "req", 1, 0)
+		if _, err := srv.Recv(); err != nil {
+			t.Fatalf("host-less traffic affected: %v", err)
+		}
+	})
+}

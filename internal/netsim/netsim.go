@@ -1,0 +1,441 @@
+// Package netsim models the cluster interconnect of the Dynamic
+// Accelerator-Cluster architecture: named endpoints exchanging
+// messages with configurable per-link latency and bandwidth, with
+// optional pipelining of bulk transfers as described in Rinke et al.
+// (ICPPW'12) and referenced by the paper's Section II-C.
+//
+// Delivery is reliable and in order per sender/receiver pair (the
+// simulation kernel breaks timestamp ties in FIFO order). Endpoints
+// can be disconnected to inject failures.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Common errors returned by endpoint operations.
+var (
+	ErrClosed       = errors.New("netsim: endpoint closed")
+	ErrTimeout      = errors.New("netsim: receive timed out")
+	ErrUnknownPeer  = errors.New("netsim: unknown destination endpoint")
+	ErrDisconnected = errors.New("netsim: endpoint disconnected")
+)
+
+// LinkParams describes the performance of a link (or of the whole
+// fabric when used as the network default).
+type LinkParams struct {
+	// Latency is the one-way propagation plus protocol-stack delay
+	// for a message of any size.
+	Latency time.Duration
+	// BandwidthBps is the sustainable transfer rate in bytes per
+	// second; zero means infinitely fast (only Latency applies).
+	BandwidthBps float64
+	// PipelineChunk is the chunk size in bytes used when a transfer
+	// is sent pipelined; zero disables pipelining benefits.
+	PipelineChunk int
+	// JitterFrac adds uniform noise of ±JitterFrac to every transfer
+	// time (0 disables). Jitter is drawn from the network's seeded
+	// generator, so runs stay reproducible while distinct trial seeds
+	// produce the spread real testbeds show (the paper averages over
+	// 10 trials for exactly this reason).
+	JitterFrac float64
+}
+
+// TransferTime reports how long a payload of size bytes occupies the
+// link. Pipelined transfers overlap chunk latencies and pay the
+// one-way latency only once; unpipelined transfers pay it per chunk.
+func (p LinkParams) TransferTime(size int, pipelined bool) time.Duration {
+	if size < 0 {
+		size = 0
+	}
+	serialize := time.Duration(0)
+	if p.BandwidthBps > 0 {
+		serialize = time.Duration(float64(size) / p.BandwidthBps * float64(time.Second))
+	}
+	if pipelined || p.PipelineChunk <= 0 || size <= p.PipelineChunk {
+		return p.Latency + serialize
+	}
+	chunks := (size + p.PipelineChunk - 1) / p.PipelineChunk
+	return time.Duration(chunks)*p.Latency + serialize
+}
+
+// Message is a delivered datagram. Payload is an arbitrary protocol
+// value; Size is the simulated wire size used for timing.
+type Message struct {
+	From, To  string
+	Tag       string
+	Payload   any
+	Size      int
+	Sent      time.Duration // virtual send time
+	Delivered time.Duration // virtual delivery time
+}
+
+// Stats aggregates fabric-level counters.
+type Stats struct {
+	MessagesSent int64
+	BytesSent    int64
+	Dropped      int64
+}
+
+// Network is the simulated fabric. Create endpoints with Endpoint,
+// override per-link parameters with SetLink, and tear everything down
+// with Close.
+type Network struct {
+	sim *sim.Simulation
+	def LinkParams
+
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	links     map[[2]string]LinkParams
+	down      map[string]bool
+	downHosts map[string]bool
+	rng       *sim.RNG
+	lastDue   map[[2]string]time.Duration // per-pair FIFO floor under jitter
+	trace     func(*Message)
+	closed    bool
+	stats     Stats
+}
+
+// New creates a network over the given simulation with def as the
+// default link parameters.
+func New(s *sim.Simulation, def LinkParams) *Network {
+	return &Network{
+		sim:       s,
+		def:       def,
+		endpoints: make(map[string]*Endpoint),
+		links:     make(map[[2]string]LinkParams),
+		down:      make(map[string]bool),
+		downHosts: make(map[string]bool),
+		rng:       sim.NewRNG(1),
+		lastDue:   make(map[[2]string]time.Duration),
+	}
+}
+
+// Seed reseeds the jitter generator (distinct seeds per trial emulate
+// run-to-run testbed noise when JitterFrac is set).
+func (n *Network) Seed(seed uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rng = sim.NewRNG(seed)
+}
+
+// jitterLocked perturbs a transfer time by ±JitterFrac. Callers hold
+// n.mu.
+func (n *Network) jitterLocked(d time.Duration, p LinkParams) time.Duration {
+	if p.JitterFrac <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + p.JitterFrac*(2*n.rng.Float64()-1)
+	if f < 0 {
+		f = 0
+	}
+	return time.Duration(float64(d) * f)
+}
+
+// Sim returns the simulation the network runs on.
+func (n *Network) Sim() *sim.Simulation { return n.sim }
+
+// Endpoint creates (or returns the existing) endpoint with the given
+// name.
+func (n *Network) Endpoint(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.endpoints[name]; ok {
+		return e
+	}
+	e := &Endpoint{
+		net:  n,
+		name: name,
+		gate: n.sim.NewGate("recv:" + name),
+	}
+	n.endpoints[name] = e
+	return e
+}
+
+// SetLink overrides parameters for the directed link from -> to.
+func (n *Network) SetLink(from, to string, p LinkParams) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{from, to}] = p
+}
+
+// LinkParams reports the parameters in effect for the directed link
+// from -> to.
+func (n *Network) LinkParams(from, to string) LinkParams {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.links[[2]string{from, to}]; ok {
+		return p
+	}
+	return n.def
+}
+
+// SetDown marks an endpoint as disconnected (true) or reachable
+// (false). Messages to or from a disconnected endpoint are dropped
+// silently, as on a real unreliable fabric; higher layers time out.
+func (n *Network) SetDown(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[name] = down
+}
+
+// HostOf extracts the host component from an endpoint name. By
+// convention, per-host endpoints are named "...@host" (pbs moms, MPI
+// processes); host-less endpoints (server, scheduler, clients) map to
+// themselves.
+func HostOf(endpoint string) string {
+	if i := strings.LastIndex(endpoint, "@"); i >= 0 {
+		return endpoint[i+1:]
+	}
+	return endpoint
+}
+
+// SetHostDown fails (or revives) an entire host: every endpoint whose
+// name ends in "@host" is disconnected, emulating a node crash or
+// network partition of that node.
+func (n *Network) SetHostDown(host string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downHosts[host] = down
+}
+
+// unreachableLocked reports whether an endpoint is currently cut off.
+// Callers hold n.mu.
+func (n *Network) unreachableLocked(endpoint string) bool {
+	return n.down[endpoint] || n.downHosts[HostOf(endpoint)]
+}
+
+// Stats returns a snapshot of fabric counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Trace installs an observer invoked for every delivered message
+// (nil disables). The observer runs on the delivery path and must be
+// fast and non-blocking; use it for protocol debugging and message
+// audits.
+func (n *Network) Trace(fn func(*Message)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trace = fn
+}
+
+// Close closes every endpoint; parked receivers return ErrClosed so
+// daemon actors can exit after a simulation finishes.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, e := range n.endpoints {
+		eps = append(eps, e)
+	}
+	n.mu.Unlock()
+	for _, e := range eps {
+		e.Close()
+	}
+}
+
+// Endpoint is a named mailbox attached to the fabric. All methods are
+// safe for concurrent use; Recv* must be called from simulation
+// actors.
+type Endpoint struct {
+	net  *Network
+	name string
+	gate *sim.Gate
+
+	mu     sync.Mutex
+	queue  []*Message
+	closed bool
+}
+
+// Name returns the endpoint's fabric-unique name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Send transmits payload to the named endpoint. size is the simulated
+// wire size in bytes (headers are negligible; pass 0 for pure control
+// messages). Send never blocks; delivery happens after the link's
+// transfer time. Sending to an unknown endpoint is an error; sending
+// to or from a disconnected endpoint silently drops the message.
+func (e *Endpoint) Send(to, tag string, payload any, size int) error {
+	return e.send(to, tag, payload, size, false)
+}
+
+// SendPipelined is Send using the pipelined bulk-transfer protocol
+// (large payloads pay the link latency only once).
+func (e *Endpoint) SendPipelined(to, tag string, payload any, size int) error {
+	return e.send(to, tag, payload, size, true)
+}
+
+func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) error {
+	n := e.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if n.unreachableLocked(e.name) || n.unreachableLocked(to) {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil // dropped in flight; sender cannot tell
+	}
+	var p LinkParams
+	if lp, ok := n.links[[2]string{e.name, to}]; ok {
+		p = lp
+	} else {
+		p = n.def
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(size)
+	delay := n.jitterLocked(p.TransferTime(size, pipelined), p)
+	// Jitter must not let a later message overtake an earlier one on
+	// the same pair (MPI's non-overtaking guarantee).
+	pair := [2]string{e.name, to}
+	due := n.sim.Now() + delay
+	if floor := n.lastDue[pair]; due < floor {
+		due = floor
+		delay = due - n.sim.Now()
+	}
+	n.lastDue[pair] = due
+	n.mu.Unlock()
+
+	msg := &Message{
+		From:    e.name,
+		To:      to,
+		Tag:     tag,
+		Payload: payload,
+		Size:    size,
+		Sent:    n.sim.Now(),
+	}
+	n.sim.After(delay, func() {
+		// Re-check reachability at delivery time so a partition that
+		// happened mid-flight also drops the message.
+		n.mu.Lock()
+		drop := n.unreachableLocked(msg.From) || n.unreachableLocked(msg.To)
+		if drop {
+			n.stats.Dropped++
+			n.stats.MessagesSent--
+			n.stats.BytesSent -= int64(msg.Size)
+		}
+		n.mu.Unlock()
+		if drop {
+			return
+		}
+		msg.Delivered = n.sim.Now()
+		n.mu.Lock()
+		tr := n.trace
+		n.mu.Unlock()
+		if tr != nil {
+			tr(msg)
+		}
+		dst.deliver(msg)
+	})
+	return nil
+}
+
+func (e *Endpoint) deliver(m *Message) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, m)
+	e.mu.Unlock()
+	e.gate.Broadcast()
+}
+
+// Recv blocks until a message arrives and returns it.
+func (e *Endpoint) Recv() (*Message, error) {
+	return e.recv(nil, 0)
+}
+
+// RecvTimeout is Recv with a virtual-time deadline.
+func (e *Endpoint) RecvTimeout(d time.Duration) (*Message, error) {
+	return e.recv(nil, d)
+}
+
+// RecvTag blocks until a message with the given tag arrives, leaving
+// other queued messages untouched.
+func (e *Endpoint) RecvTag(tag string) (*Message, error) {
+	return e.recv(func(m *Message) bool { return m.Tag == tag }, 0)
+}
+
+// RecvTagTimeout is RecvTag with a virtual-time deadline.
+func (e *Endpoint) RecvTagTimeout(tag string, d time.Duration) (*Message, error) {
+	return e.recv(func(m *Message) bool { return m.Tag == tag }, d)
+}
+
+// RecvMatch blocks until a message satisfying match arrives.
+func (e *Endpoint) RecvMatch(match func(*Message) bool) (*Message, error) {
+	return e.recv(match, 0)
+}
+
+// RecvMatchTimeout is RecvMatch with a virtual-time deadline.
+func (e *Endpoint) RecvMatchTimeout(match func(*Message) bool, d time.Duration) (*Message, error) {
+	return e.recv(match, d)
+}
+
+func (e *Endpoint) recv(match func(*Message) bool, timeout time.Duration) (*Message, error) {
+	deadline := time.Duration(-1)
+	if timeout > 0 {
+		deadline = e.net.sim.Now() + timeout
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.closed {
+			return nil, ErrClosed
+		}
+		for i, m := range e.queue {
+			if match == nil || match(m) {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if deadline < 0 {
+			e.gate.Wait(&e.mu)
+			continue
+		}
+		remain := deadline - e.net.sim.Now()
+		if remain <= 0 || !e.gate.WaitTimeout(&e.mu, remain) {
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Pending reports how many messages are queued.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Close unblocks all receivers with ErrClosed and discards queued
+// messages. Closing twice is a no-op.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.queue = nil
+	e.mu.Unlock()
+	e.gate.Broadcast()
+}

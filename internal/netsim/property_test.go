@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Property: a message is never delivered before the link latency has
+// elapsed, and serialization time is monotone in size.
+func TestPropertyDeliveryRespectsLatency(t *testing.T) {
+	check := func(rawLatencyMs uint8, rawSize uint16) bool {
+		latency := time.Duration(rawLatencyMs%50+1) * time.Millisecond
+		size := int(rawSize)
+		s := sim.New()
+		n := New(s, LinkParams{Latency: latency, BandwidthBps: 1e6})
+		ok := true
+		err := s.Run(func() {
+			defer n.Close()
+			a, b := n.Endpoint("a"), n.Endpoint("b")
+			sent := s.Now()
+			a.Send("b", "t", nil, size)
+			m, err := b.Recv()
+			if err != nil {
+				ok = false
+				return
+			}
+			elapsed := m.Delivered - sent
+			if elapsed < latency {
+				ok = false
+			}
+			want := latency + time.Duration(float64(size)/1e6*float64(time.Second))
+			if elapsed != want {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfer time is monotone non-decreasing in size for any
+// link parameters, pipelined or not.
+func TestPropertyTransferTimeMonotone(t *testing.T) {
+	check := func(rawBw uint32, rawChunk uint16, sizeA, sizeB uint32, pipelined bool) bool {
+		p := LinkParams{
+			Latency:       time.Millisecond,
+			BandwidthBps:  float64(rawBw%1_000_000 + 1000),
+			PipelineChunk: int(rawChunk),
+		}
+		a, b := int(sizeA%10_000_000), int(sizeB%10_000_000)
+		if a > b {
+			a, b = b, a
+		}
+		return p.TransferTime(a, pipelined) <= p.TransferTime(b, pipelined)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pipelining never makes a transfer slower.
+func TestPropertyPipeliningNeverSlower(t *testing.T) {
+	check := func(rawBw uint32, rawChunk uint16, size uint32) bool {
+		p := LinkParams{
+			Latency:       time.Millisecond,
+			BandwidthBps:  float64(rawBw%1_000_000 + 1000),
+			PipelineChunk: int(rawChunk),
+		}
+		n := int(size % 10_000_000)
+		return p.TransferTime(n, true) <= p.TransferTime(n, false)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-pair FIFO — any burst of same-pair messages arrives
+// in send order.
+func TestPropertyFIFOBurst(t *testing.T) {
+	check := func(count uint8) bool {
+		n := int(count%20) + 2
+		s := sim.New()
+		net := New(s, LinkParams{Latency: time.Millisecond})
+		ok := true
+		err := s.Run(func() {
+			defer net.Close()
+			a, b := net.Endpoint("a"), net.Endpoint("b")
+			for i := 0; i < n; i++ {
+				a.Send("b", "seq", i, 0)
+			}
+			for i := 0; i < n; i++ {
+				m, err := b.Recv()
+				if err != nil || m.Payload.(int) != i {
+					ok = false
+					return
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

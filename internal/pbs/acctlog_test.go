@@ -1,0 +1,108 @@
+package pbs_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+)
+
+func recTypes(recs []pbs.AccountingRecord, jobID string) string {
+	var b strings.Builder
+	for _, r := range recs {
+		if r.JobID == jobID {
+			b.WriteByte(r.Type)
+		}
+	}
+	return b.String()
+}
+
+func TestAccountingLogLifecycle(t *testing.T) {
+	tb := newTestbed(t, 1, 2, nil)
+	tb.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "acct", Owner: "u", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				if g, err := cl.DynGet(env.JobID, env.Host, 1); err == nil {
+					cl.DynFree(env.JobID, g.ClientID)
+				}
+				cl.DynGet(env.JobID, env.Host, 9) // rejected
+			},
+		})
+		c.Wait(id)
+		recs := tb.server.AccountingLog()
+		got := recTypes(recs, id)
+		if got != "QSGLRE" {
+			t.Fatalf("record sequence = %q, want QSGLRE\n%v", got, recs)
+		}
+		// Timestamps are non-decreasing.
+		for i := 1; i < len(recs); i++ {
+			if recs[i].At < recs[i-1].At {
+				t.Fatalf("timestamps regress at %d: %v", i, recs)
+			}
+		}
+		// The grant record names its hosts.
+		for _, r := range recs {
+			if r.Type == pbs.AcctDynGrant && !strings.Contains(r.Detail, "hosts=ac") {
+				t.Errorf("grant detail = %q", r.Detail)
+			}
+			if r.Type == pbs.AcctQueued && !strings.Contains(r.Detail, "nodes=1:ppn=1:acpn=1") {
+				t.Errorf("queued detail = %q", r.Detail)
+			}
+		}
+	})
+}
+
+func TestAccountingLogDeletedJob(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "b", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(200 * time.Millisecond) }})
+		victim, _ := c.Submit(pbs.JobSpec{Name: "v", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {}})
+		tb.s.Sleep(20 * time.Millisecond)
+		c.Delete(victim)
+		c.Wait(blocker)
+		if got := recTypes(tb.server.AccountingLog(), victim); got != "QD" {
+			t.Fatalf("deleted job records = %q, want QD", got)
+		}
+	})
+}
+
+func TestAccountingLogRoundTrip(t *testing.T) {
+	recs := []pbs.AccountingRecord{
+		{At: 1500 * time.Microsecond, Type: pbs.AcctQueued, JobID: "1.srv", Detail: "owner=u nodes=1:ppn=2"},
+		{At: 2 * time.Millisecond, Type: pbs.AcctStarted, JobID: "1.srv", Detail: ""},
+		{At: 3 * time.Millisecond, Type: pbs.AcctDynGrant, JobID: "1.srv", Detail: "client=1 kind=accelerator hosts=ac0+ac1"},
+	}
+	var b strings.Builder
+	if err := pbs.WriteAccountingLog(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pbs.ReadAccountingLog(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadAccountingLogErrors(t *testing.T) {
+	for _, bad := range []string{"nope", "1;QQ;j;d", "x;Q;j;d"} {
+		if _, err := pbs.ReadAccountingLog(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadAccountingLog(%q) should fail", bad)
+		}
+	}
+	if recs, err := pbs.ReadAccountingLog(strings.NewReader("\n\n")); err != nil || len(recs) != 0 {
+		t.Errorf("blank log: %v %v", recs, err)
+	}
+}

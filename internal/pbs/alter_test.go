@@ -1,0 +1,100 @@
+package pbs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pbs"
+)
+
+func TestAlterRaisesQueuedJobPriority(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "blk", Owner: "u", Nodes: 1, PPN: 8, Walltime: 100 * time.Millisecond,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(100 * time.Millisecond) }})
+		first, _ := c.Submit(pbs.JobSpec{Name: "first", Owner: "u", Nodes: 1, PPN: 8, Walltime: 50 * time.Millisecond,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(10 * time.Millisecond) }})
+		second, _ := c.Submit(pbs.JobSpec{Name: "second", Owner: "u", Nodes: 1, PPN: 8, Walltime: 50 * time.Millisecond,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(10 * time.Millisecond) }})
+		// qalter the later job above the earlier one.
+		prio := 1000
+		if err := c.Alter(second, &prio, 0, ""); err != nil {
+			t.Fatalf("Alter: %v", err)
+		}
+		c.Wait(blocker)
+		fi, _ := c.Wait(first)
+		si, _ := c.Wait(second)
+		if si.StartedAt >= fi.StartedAt {
+			t.Errorf("altered job started %v, unaltered %v — priority ignored", si.StartedAt, fi.StartedAt)
+		}
+		if si.Spec.Priority != 1000 {
+			t.Errorf("priority = %d", si.Spec.Priority)
+		}
+	})
+}
+
+func TestAlterWalltimeAndName(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "blk", Owner: "u", Nodes: 1, PPN: 8, Walltime: 50 * time.Millisecond,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(50 * time.Millisecond) }})
+		id, _ := c.Submit(pbs.JobSpec{Name: "old", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {}})
+		if err := c.Alter(id, nil, 2*time.Second, "renamed"); err != nil {
+			t.Fatalf("Alter: %v", err)
+		}
+		info, _ := c.Stat(id)
+		if info.Spec.Walltime != 2*time.Second || info.Spec.Name != "renamed" {
+			t.Errorf("spec = %+v", info.Spec)
+		}
+		c.Wait(blocker)
+		c.Wait(id)
+	})
+}
+
+func TestAlterStartedJobFails(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{Name: "run", Owner: "u", Nodes: 1, PPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(200 * time.Millisecond) }})
+		tb.s.Sleep(100 * time.Millisecond) // it is running now
+		prio := 5
+		if err := c.Alter(id, &prio, 0, ""); err == nil {
+			t.Error("qalter of a started job should fail")
+		}
+		if err := c.Alter("ghost", &prio, 0, ""); err == nil {
+			t.Error("qalter of unknown job should fail")
+		}
+		c.Wait(id)
+	})
+}
+
+func TestListAllJobs(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		var ids []string
+		for i := 0; i < 3; i++ {
+			id, _ := c.Submit(pbs.JobSpec{Name: "j", Owner: "u", Nodes: 1, PPN: 2, Walltime: time.Second,
+				Script: func(env *pbs.JobEnv) {}})
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			c.Wait(id)
+		}
+		jobs, err := c.List()
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		if len(jobs) != 3 {
+			t.Fatalf("list = %d jobs", len(jobs))
+		}
+		for i, j := range jobs {
+			if j.ID != ids[i] {
+				t.Errorf("order: job %d = %s, want %s", i, j.ID, ids[i])
+			}
+			if j.State != pbs.JobCompleted {
+				t.Errorf("job %s state %v", j.ID, j.State)
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package pbs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pbs"
+)
+
+// TestConcurrentClientsStress submits from many IFL clients at once;
+// the single-threaded server must serialize correctly and every job
+// must complete with consistent bookkeeping.
+func TestConcurrentClientsStress(t *testing.T) {
+	tb := newTestbed(t, 3, 3, nil)
+	tb.run(t, func(_ *pbs.Client) {
+		const clients = 6
+		const jobsPer = 4
+		grp := tb.s.NewGroup("clients")
+		var mu sync.Mutex
+		var allIDs []string
+		for ci := 0; ci < clients; ci++ {
+			ci := ci
+			grp.Go(fmt.Sprintf("client%d", ci), func() {
+				c := pbs.NewClient(tb.net, fmt.Sprintf("front%d", ci), pbs.ServerEndpoint)
+				for j := 0; j < jobsPer; j++ {
+					id, err := c.Submit(pbs.JobSpec{
+						Name: fmt.Sprintf("c%d-j%d", ci, j), Owner: fmt.Sprintf("u%d", ci),
+						Nodes: 1, PPN: 1 + (ci+j)%4, ACPN: (ci + j) % 2,
+						Walltime: time.Second,
+						Script:   func(env *pbs.JobEnv) { tb.s.Sleep(time.Duration(10+ci*3) * time.Millisecond) },
+					})
+					if err != nil {
+						t.Errorf("Submit: %v", err)
+						return
+					}
+					mu.Lock()
+					allIDs = append(allIDs, id)
+					mu.Unlock()
+				}
+			})
+		}
+		grp.Wait()
+		c := pbs.NewClient(tb.net, "collector", pbs.ServerEndpoint)
+		mu.Lock()
+		ids := append([]string(nil), allIDs...)
+		mu.Unlock()
+		if len(ids) != clients*jobsPer {
+			t.Fatalf("submitted %d jobs", len(ids))
+		}
+		seen := map[string]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("duplicate job id %s", id)
+			}
+			seen[id] = true
+			info, err := c.Wait(id)
+			if err != nil {
+				t.Fatalf("Wait %s: %v", id, err)
+			}
+			if info.State != pbs.JobCompleted {
+				t.Errorf("job %s state %v", id, info.State)
+			}
+		}
+		nodes, _ := c.Nodes()
+		for _, n := range nodes {
+			if len(n.Jobs) != 0 {
+				t.Errorf("node %s leaked %v", n.Name, n.Jobs)
+			}
+		}
+	})
+}
+
+// TestConcurrentStatsDuringRun exercises read RPCs racing the
+// lifecycle transitions.
+func TestConcurrentStatsDuringRun(t *testing.T) {
+	tb := newTestbed(t, 2, 2, nil)
+	tb.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "watched", Owner: "u", Nodes: 1, PPN: 2, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(100 * time.Millisecond) },
+		})
+		grp := tb.s.NewGroup("watchers")
+		for w := 0; w < 4; w++ {
+			w := w
+			grp.Go(fmt.Sprintf("watcher%d", w), func() {
+				wc := pbs.NewClient(tb.net, fmt.Sprintf("w%d", w), pbs.ServerEndpoint)
+				for i := 0; i < 10; i++ {
+					if _, err := wc.Stat(id); err != nil {
+						t.Errorf("Stat: %v", err)
+						return
+					}
+					if _, err := wc.Nodes(); err != nil {
+						t.Errorf("Nodes: %v", err)
+						return
+					}
+					tb.s.Sleep(7 * time.Millisecond)
+				}
+			})
+		}
+		grp.Wait()
+		c.Wait(id)
+	})
+}

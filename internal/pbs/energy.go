@@ -1,0 +1,67 @@
+package pbs
+
+import "time"
+
+// Energy accounting. The paper's introduction motivates accelerators
+// and dynamic provisioning with "increased computational power at
+// minimized energy consumption levels" and names energy optimization
+// as an exascale concern; this model turns the server's busy-time
+// integrals into energy figures so policies can be compared in joules
+// as well as in makespan.
+
+// PowerModel describes node power draw in watts.
+type PowerModel struct {
+	// ComputeIdleW and ComputeBusyPerCoreW model a compute node:
+	// idle draw plus a linear per-busy-core increment.
+	ComputeIdleW        float64
+	ComputeBusyPerCoreW float64
+	// AccelIdleW and AccelBusyW model a network-attached accelerator
+	// (host plus GPU): idle draw and the draw while assigned to a job.
+	AccelIdleW float64
+	AccelBusyW float64
+}
+
+// DefaultPowerModel resembles the paper's era: dual-socket Nehalem
+// compute nodes (~200 W idle, ~15 W per busy core) and Fermi-class
+// accelerator nodes (~250 W idle, ~450 W under load).
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		ComputeIdleW:        200,
+		ComputeBusyPerCoreW: 15,
+		AccelIdleW:          250,
+		AccelBusyW:          450,
+	}
+}
+
+// EnergyReport aggregates consumption over an interval.
+type EnergyReport struct {
+	ComputeJoules float64
+	AccelJoules   float64
+}
+
+// Total returns the cluster's total energy.
+func (r EnergyReport) Total() float64 { return r.ComputeJoules + r.AccelJoules }
+
+// Energy converts the accounting integrals into joules for the
+// elapsed interval: idle power is paid for the whole interval on
+// every node; busy increments follow the busy-time integrals.
+func (s *Server) Energy(model PowerModel, elapsed time.Duration) EnergyReport {
+	var rep EnergyReport
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		return rep
+	}
+	for _, u := range s.Usage() {
+		switch u.Type {
+		case ComputeNode:
+			rep.ComputeJoules += model.ComputeIdleW*sec + model.ComputeBusyPerCoreW*u.BusyCoreSeconds
+		case AcceleratorNode:
+			busy := u.BusyCoreSeconds
+			if busy > sec {
+				busy = sec
+			}
+			rep.AccelJoules += model.AccelIdleW*(sec-busy) + model.AccelBusyW*busy
+		}
+	}
+	return rep
+}

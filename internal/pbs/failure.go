@@ -1,0 +1,203 @@
+package pbs
+
+import (
+	"errors"
+
+	"repro/internal/netsim"
+)
+
+// Fault tolerance (the paper's outlook, Section VI): moms report
+// liveness through periodic heartbeats; a failure detector on the
+// server marks silent nodes down, removes lost accelerators from
+// their jobs (the application continues with the remaining set, just
+// as after a rejected dynamic request), and fails jobs whose compute
+// node died. Recovered nodes return to the pool on their next
+// heartbeat.
+
+// startHeartbeats spawns the mom's heartbeat sender when enabled.
+func (m *Mom) startHeartbeats() {
+	if m.params.HeartbeatEvery <= 0 {
+		return
+	}
+	m.sim.Go("heartbeat@"+m.host, func() {
+		for {
+			m.sim.Sleep(m.params.HeartbeatEvery)
+			if err := m.ep.Send(ServerEndpoint, "pbs", HeartbeatMsg{Host: m.host}, 0); err != nil {
+				return // fabric closed
+			}
+		}
+	})
+}
+
+// startFailureDetector spawns the server's sweep actor when enabled.
+func (s *Server) startFailureDetector() {
+	if s.params.DeadAfter <= 0 {
+		return
+	}
+	period := s.params.DeadAfter / 4
+	if period <= 0 {
+		period = s.params.DeadAfter
+	}
+	mon := s.net.Endpoint(ServerEndpoint + "/monitor")
+	s.sim.Go("pbs_server/monitor", func() {
+		for {
+			_, err := mon.RecvTimeout(period)
+			if errors.Is(err, netsim.ErrTimeout) {
+				s.sweepDeadNodes()
+				continue
+			}
+			if err != nil {
+				return // fabric closed
+			}
+		}
+	})
+}
+
+// heartbeat records a liveness report, reviving a down node.
+func (s *Server) heartbeat(host string) {
+	s.mu.Lock()
+	n, ok := s.nodes[host]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.lastSeen[host] = s.sim.Now()
+	revived := n.info.Down
+	if revived {
+		n.info.Down = false
+	}
+	s.mu.Unlock()
+	if revived {
+		s.kickScheduler("node-up:" + host)
+	}
+}
+
+// sweepDeadNodes declares nodes dead after DeadAfter of silence.
+func (s *Server) sweepDeadNodes() {
+	now := s.sim.Now()
+	s.mu.Lock()
+	var dead []string
+	for name, n := range s.nodes {
+		if n.info.Down {
+			continue
+		}
+		if now-s.lastSeen[name] > s.params.DeadAfter {
+			dead = append(dead, name)
+		}
+	}
+	s.mu.Unlock()
+	for _, name := range dead {
+		s.nodeDown(name)
+	}
+}
+
+// nodeDown marks one node failed and repairs the jobs touching it.
+func (s *Server) nodeDown(host string) {
+	s.mu.Lock()
+	n, ok := s.nodes[host]
+	if !ok || n.info.Down {
+		s.mu.Unlock()
+		return
+	}
+	n.info.Down = true
+	affected := make([]string, 0, len(n.usedBy))
+	for jobID := range n.usedBy {
+		affected = append(affected, jobID)
+	}
+	isCN := n.info.Type == ComputeNode
+	s.mu.Unlock()
+
+	for _, jobID := range affected {
+		if isCN {
+			s.failJob(jobID, host)
+		} else {
+			s.dropAccelerator(jobID, host)
+		}
+	}
+	s.kickScheduler("node-down:" + host)
+}
+
+// failJob ends a job whose compute node died.
+func (s *Server) failJob(jobID, lostHost string) {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok || (j.info.State != JobRunning && j.info.State != JobQueued) {
+		s.mu.Unlock()
+		return
+	}
+	wasRunning := j.info.State == JobRunning
+	j.info.State = JobFailed
+	j.info.CompletedAt = s.sim.Now()
+	hosts := jobHosts(j.info)
+	s.freeJobLocked(jobID)
+	var rejects []*DynRecord
+	for _, rec := range s.dynQ {
+		if rec.JobID == jobID && rec.State != DynGranted && rec.State != DynRejected {
+			rejects = append(rejects, rec)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, rec := range rejects {
+		s.mu.Lock()
+		rec.State = DynRejected
+		rec.RepliedAt = s.sim.Now()
+		route := s.dynReply[rec.ReqID]
+		s.finishDynLocked(rec)
+		s.mu.Unlock()
+		s.send(route.ep, DynGetResp{ReqID: route.clientReq, ClientID: -1, Err: "pbs: job failed (node down)"})
+	}
+	if wasRunning {
+		for _, h := range hosts {
+			if h == lostHost {
+				continue
+			}
+			s.send(MomEndpoint(h), ReleaseJobMsg{JobID: jobID})
+		}
+	}
+	s.account(AcctFailed, jobID, "lost=%s", lostHost)
+	s.notifyWaiters(jobID)
+}
+
+// dropAccelerator removes a dead accelerator from its job; the
+// application keeps running with its remaining set.
+func (s *Server) dropAccelerator(jobID, host string) {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	for cn, acs := range j.info.AccHosts {
+		j.info.AccHosts[cn] = removeHost(acs, host)
+	}
+	for id, acs := range j.info.DynSets {
+		j.info.DynSets[id] = removeHost(acs, host)
+	}
+	if n, ok := s.nodes[host]; ok {
+		delete(n.usedBy, jobID)
+		s.refreshLocked(n)
+	}
+	ms := ""
+	if j.info.State == JobRunning && len(j.info.Hosts) > 0 {
+		ms = j.info.Hosts[0]
+	}
+	s.mu.Unlock()
+	if ms != "" {
+		s.send(MomEndpoint(ms), NodeLostMsg{JobID: jobID, Host: host})
+	}
+}
+
+func removeHost(hs []string, host string) []string {
+	out := hs[:0]
+	for _, h := range hs {
+		if h != host {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// NodeDownForTest force-fails a node, bypassing the detector (test
+// hook mirroring an operator's pbsnodes -o).
+func (s *Server) NodeDownForTest(host string) { s.nodeDown(host) }

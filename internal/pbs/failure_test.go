@@ -1,0 +1,237 @@
+package pbs_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/maui"
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// ftTestbed is a testbed with heartbeats and the failure detector
+// enabled.
+func ftTestbed(t *testing.T, nCN, nAC int) *testbed {
+	t.Helper()
+	s := sim.New()
+	net := netsim.New(s, netsim.LinkParams{Latency: 200 * time.Microsecond})
+	tb := &testbed{s: s, net: net, moms: make(map[string]*pbs.Mom)}
+	tb.server = pbs.NewServer(net, pbs.ServerParams{
+		Processing: time.Millisecond,
+		DeadAfter:  200 * time.Millisecond,
+	})
+	mp := maui.DefaultParams()
+	mp.CycleInterval = 50 * time.Millisecond
+	mp.CycleOverhead = 5 * time.Millisecond
+	mp.PerJobCost = 2 * time.Millisecond
+	mp.DynPerReqCost = 2 * time.Millisecond
+	tb.sched = maui.New(net, pbs.ServerEndpoint, mp)
+	tb.server.SetScheduler(tb.sched.Endpoint())
+	momParams := pbs.MomParams{
+		JoinCost:       time.Millisecond,
+		DynJoinCost:    2 * time.Millisecond,
+		StartCost:      time.Millisecond,
+		HeartbeatEvery: 40 * time.Millisecond,
+	}
+	for i := 0; i < nCN; i++ {
+		name := cnName(i)
+		tb.cns = append(tb.cns, name)
+		tb.server.AddNode(name, pbs.ComputeNode, 8)
+		m := pbs.NewMom(net, name, momParams)
+		m.Cluster = net
+		tb.moms[name] = m
+	}
+	for i := 0; i < nAC; i++ {
+		name := acName(i)
+		tb.acs = append(tb.acs, name)
+		tb.server.AddNode(name, pbs.AcceleratorNode, 1)
+		m := pbs.NewMom(net, name, momParams)
+		m.Cluster = net
+		tb.moms[name] = m
+	}
+	return tb
+}
+
+func TestHeartbeatsKeepNodesUp(t *testing.T) {
+	tb := ftTestbed(t, 1, 2)
+	tb.run(t, func(c *pbs.Client) {
+		tb.s.Sleep(time.Second) // many detection windows
+		nodes, err := c.Nodes()
+		if err != nil {
+			t.Fatalf("Nodes: %v", err)
+		}
+		for _, n := range nodes {
+			if n.Down {
+				t.Errorf("node %s wrongly marked down", n.Name)
+			}
+		}
+	})
+}
+
+func TestSilentNodeMarkedDownAndExcluded(t *testing.T) {
+	tb := ftTestbed(t, 1, 2)
+	tb.run(t, func(c *pbs.Client) {
+		tb.net.SetHostDown("ac1", true) // heartbeats from ac1 vanish
+		tb.s.Sleep(600 * time.Millisecond)
+		nodes, _ := c.Nodes()
+		downs := map[string]bool{}
+		for _, n := range nodes {
+			downs[n.Name] = n.Down
+		}
+		if !downs["ac1"] {
+			t.Fatalf("ac1 not marked down: %v", downs)
+		}
+		if downs["ac0"] || downs["cn0"] {
+			t.Fatalf("healthy nodes marked down: %v", downs)
+		}
+		// A dynamic request for 2 accelerators must now be rejected:
+		// only ac0 is alive.
+		var dynErr error
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "j", Owner: "u", Nodes: 1, PPN: 1, ACPN: 0, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				_, dynErr = cl.DynGet(env.JobID, env.Host, 2)
+			},
+		})
+		c.Wait(id)
+		if dynErr == nil {
+			t.Error("DynGet(2) should be rejected with one accelerator down")
+		}
+	})
+}
+
+func TestDownNodeRecoversOnHeartbeat(t *testing.T) {
+	tb := ftTestbed(t, 1, 1)
+	tb.run(t, func(c *pbs.Client) {
+		tb.net.SetHostDown("ac0", true)
+		tb.s.Sleep(600 * time.Millisecond)
+		nodes, _ := c.Nodes()
+		if !nodes[1].Down {
+			t.Fatalf("ac0 should be down: %+v", nodes)
+		}
+		tb.net.SetHostDown("ac0", false)
+		tb.s.Sleep(300 * time.Millisecond)
+		nodes, _ = c.Nodes()
+		if nodes[1].Down {
+			t.Fatalf("ac0 should have recovered: %+v", nodes)
+		}
+		// And it is allocatable again.
+		var got int
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "j", Owner: "u", Nodes: 1, PPN: 1, ACPN: 0, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				if g, err := cl.DynGet(env.JobID, env.Host, 1); err == nil {
+					got = len(g.Hosts)
+				}
+			},
+		})
+		c.Wait(id)
+		if got != 1 {
+			t.Errorf("recovered accelerator not allocatable (got %d)", got)
+		}
+	})
+}
+
+func TestComputeNodeFailureFailsJob(t *testing.T) {
+	tb := ftTestbed(t, 2, 1)
+	tb.run(t, func(c *pbs.Client) {
+		started := tb.s.NewGate("started")
+		var mu sync.Mutex
+		running := false
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "victim", Owner: "u", Nodes: 1, PPN: 8, ACPN: 1, Walltime: time.Minute,
+			Script: func(env *pbs.JobEnv) {
+				mu.Lock()
+				running = true
+				mu.Unlock()
+				started.Broadcast()
+				tb.s.Sleep(time.Hour) // would run forever
+			},
+		})
+		mu.Lock()
+		for !running {
+			started.Wait(&mu)
+		}
+		mu.Unlock()
+		info, _ := c.Stat(id)
+		cn := info.Hosts[0]
+		tb.net.SetHostDown(cn, true)
+		final, err := c.Wait(id)
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if final.State != pbs.JobFailed {
+			t.Fatalf("state = %v, want JobFailed", final.State)
+		}
+		// All resources released, including the accelerator.
+		nodes, _ := c.Nodes()
+		for _, n := range nodes {
+			if n.Name != cn && len(n.Jobs) != 0 {
+				t.Errorf("node %s still holds %v", n.Name, n.Jobs)
+			}
+		}
+	})
+}
+
+func TestAcceleratorFailureDropsFromRunningJob(t *testing.T) {
+	tb := ftTestbed(t, 1, 2)
+	tb.run(t, func(c *pbs.Client) {
+		started := tb.s.NewGate("started")
+		var mu sync.Mutex
+		running := false
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "j", Owner: "u", Nodes: 1, PPN: 1, ACPN: 2, Walltime: time.Minute,
+			Script: func(env *pbs.JobEnv) {
+				mu.Lock()
+				running = true
+				mu.Unlock()
+				started.Broadcast()
+				tb.s.Sleep(time.Second)
+			},
+		})
+		mu.Lock()
+		for !running {
+			started.Wait(&mu)
+		}
+		mu.Unlock()
+		tb.net.SetHostDown("ac0", true)
+		tb.s.Sleep(600 * time.Millisecond)
+		info, _ := c.Stat(id)
+		if info.State != pbs.JobRunning {
+			t.Fatalf("job should survive accelerator loss, state = %v", info.State)
+		}
+		if got := info.AccHosts[info.Hosts[0]]; len(got) != 1 || got[0] != "ac1" {
+			t.Fatalf("AccHosts after failure = %v, want [ac1]", got)
+		}
+		final, _ := c.Wait(id)
+		if final.State != pbs.JobCompleted {
+			t.Fatalf("final state = %v", final.State)
+		}
+	})
+}
+
+func TestNodeDownForTestHook(t *testing.T) {
+	tb := newTestbed(t, 1, 1, nil)
+	tb.run(t, func(c *pbs.Client) {
+		tb.server.NodeDownForTest("ac0")
+		nodes, _ := c.Nodes()
+		if !nodes[1].Down {
+			t.Fatalf("hook did not mark node down: %+v", nodes)
+		}
+		if nodes[1].Free() {
+			t.Fatal("down node reports free")
+		}
+		tb.server.NodeDownForTest("ac0") // idempotent
+		tb.server.NodeDownForTest("ghost")
+	})
+}
+
+func TestJobFailedStateString(t *testing.T) {
+	if pbs.JobFailed.String() != "F" {
+		t.Fatalf("JobFailed = %q", pbs.JobFailed.String())
+	}
+}

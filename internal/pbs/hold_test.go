@@ -1,0 +1,92 @@
+package pbs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pbs"
+)
+
+func TestHoldKeepsJobFromScheduler(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		ran := false
+		// Fill the node briefly so the hold lands before any
+		// allocation can.
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "blk", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(100 * time.Millisecond) }})
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "held", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { ran = true },
+		})
+		if err := c.Hold(id); err != nil {
+			t.Fatalf("Hold: %v", err)
+		}
+		c.Wait(blocker)
+		tb.s.Sleep(400 * time.Millisecond) // many cycles
+		info, _ := c.Stat(id)
+		if info.State != pbs.JobQueued || !info.Held {
+			t.Fatalf("held job state = %v held=%v", info.State, info.Held)
+		}
+		if ran {
+			t.Fatal("held job ran")
+		}
+		if err := c.Release(id); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+		final, _ := c.Wait(id)
+		if final.State != pbs.JobCompleted {
+			t.Fatalf("state after release = %v", final.State)
+		}
+		if !ran {
+			t.Fatal("released job never ran")
+		}
+	})
+}
+
+func TestHoldErrors(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		if err := c.Hold("ghost"); err == nil {
+			t.Error("hold of unknown job should fail")
+		}
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "r", Owner: "u", Nodes: 1, PPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(150 * time.Millisecond) },
+		})
+		tb.s.Sleep(80 * time.Millisecond) // running now
+		if err := c.Hold(id); err == nil {
+			t.Error("hold of running job should fail")
+		}
+		c.Wait(id)
+		if err := c.Release(id); err == nil {
+			t.Error("release of completed job should fail")
+		}
+	})
+}
+
+func TestHeldJobCanBeDeleted(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		// Fill the node so the victim cannot start before the hold
+		// lands.
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "blk", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(300 * time.Millisecond) }})
+		defer c.Wait(blocker)
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "hd", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { t.Error("must not run") },
+		})
+		if err := c.Hold(id); err != nil {
+			t.Fatalf("Hold: %v", err)
+		}
+		tb.s.Sleep(50 * time.Millisecond)
+		if err := c.Delete(id); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		info, _ := c.Wait(id)
+		if info.State != pbs.JobDeleted {
+			t.Fatalf("state = %v", info.State)
+		}
+	})
+}

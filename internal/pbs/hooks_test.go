@@ -1,0 +1,70 @@
+package pbs_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pbs"
+)
+
+func TestPrologueEpilogueRunAroundTask(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	var mu sync.Mutex
+	var order []string
+	tb.moms["cn0"].Prologue = func(env *pbs.JobEnv) {
+		mu.Lock()
+		order = append(order, "prologue:"+env.JobID)
+		mu.Unlock()
+	}
+	tb.moms["cn0"].Epilogue = func(env *pbs.JobEnv) {
+		mu.Lock()
+		order = append(order, "epilogue:"+env.JobID)
+		mu.Unlock()
+	}
+	tb.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "hooked", Owner: "u", Nodes: 1, PPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				mu.Lock()
+				order = append(order, "script:"+env.JobID)
+				mu.Unlock()
+			},
+		})
+		c.Wait(id)
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != 3 {
+			t.Fatalf("order = %v", order)
+		}
+		if order[0] != "prologue:"+id || order[1] != "script:"+id || order[2] != "epilogue:"+id {
+			t.Fatalf("order = %v", order)
+		}
+	})
+}
+
+func TestHooksPerMomOnMultiNodeJob(t *testing.T) {
+	tb := newTestbed(t, 2, 0, nil)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	for _, cn := range []string{"cn0", "cn1"} {
+		cn := cn
+		tb.moms[cn].Prologue = func(env *pbs.JobEnv) {
+			mu.Lock()
+			counts[cn]++
+			mu.Unlock()
+		}
+	}
+	tb.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "multi", Owner: "u", Nodes: 2, PPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {},
+		})
+		c.Wait(id)
+		mu.Lock()
+		defer mu.Unlock()
+		if counts["cn0"] != 1 || counts["cn1"] != 1 {
+			t.Fatalf("prologue counts = %v", counts)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package pbs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// TestRandomizedWorkloadInvariants drives the batch system with a
+// randomized mix of jobs — static accelerators, dynamic get/free,
+// failures to allocate, deletions — and checks global invariants at
+// the end:
+//
+//  1. every job reaches a terminal state,
+//  2. every node is free (no leaked cores or accelerators),
+//  3. every dynamic request ended granted or rejected,
+//  4. per-job timestamps are monotone,
+//  5. the server logged no protocol anomalies.
+func TestRandomizedWorkloadInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runRandomScenario(t, seed)
+		})
+	}
+}
+
+// TestDynQueueProgressesPastDeletedJob: job A's dynamic request is in
+// flight when A is killed; B's queued request must still be serviced.
+func TestDynQueueProgressesPastDeletedJob(t *testing.T) {
+	tb := newTestbed(t, 2, 2, nil)
+	tb.run(t, func(c *pbs.Client) {
+		aDone := tb.s.NewGate("aDone")
+		var mu sync.Mutex
+		var aErr, bErr error
+		aFinished, bFinished := false, false
+		mk := func(errp *bool, errv *error, delay time.Duration) pbs.Script {
+			return func(env *pbs.JobEnv) {
+				tb.s.Sleep(50*time.Millisecond + delay)
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				_, err := cl.DynGet(env.JobID, env.Host, 1)
+				mu.Lock()
+				*errp = true
+				*errv = err
+				mu.Unlock()
+				aDone.Broadcast()
+				tb.s.Sleep(100 * time.Millisecond)
+			}
+		}
+		a, _ := c.Submit(pbs.JobSpec{Name: "A", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Minute,
+			Script: mk(&aFinished, &aErr, 0)})
+		b, _ := c.Submit(pbs.JobSpec{Name: "B", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Minute,
+			Script: mk(&bFinished, &bErr, time.Microsecond)})
+		// Kill A while its request is likely at the head.
+		tb.s.Sleep(55 * time.Millisecond)
+		c.Delete(a)
+		c.Wait(a)
+		c.Wait(b)
+		mu.Lock()
+		defer mu.Unlock()
+		if !bFinished {
+			t.Fatal("B's request never completed")
+		}
+		if bErr != nil {
+			t.Fatalf("B's request failed: %v", bErr)
+		}
+	})
+}
+
+func runRandomScenario(t *testing.T, seed uint64) {
+	t.Helper()
+	tb := newTestbed(t, 3, 4, nil)
+	rng := sim.NewRNG(seed)
+	const jobs = 12
+
+	tb.run(t, func(c *pbs.Client) {
+		var ids []string
+		for i := 0; i < jobs; i++ {
+			spec := pbs.JobSpec{
+				Name:     fmt.Sprintf("rand-%d", i),
+				Owner:    []string{"u1", "u2", "u3"}[rng.Intn(3)],
+				Nodes:    1 + rng.Intn(2),
+				PPN:      1 + rng.Intn(8),
+				ACPN:     rng.Intn(2),
+				Walltime: time.Second,
+			}
+			runFor := time.Duration(10+rng.Intn(80)) * time.Millisecond
+			wantDyn := rng.Intn(3) == 0
+			dynCount := 1 + rng.Intn(3)
+			freeIt := rng.Intn(2) == 0
+			spec.Script = func(env *pbs.JobEnv) {
+				if wantDyn {
+					cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+					if grant, err := cl.DynGet(env.JobID, env.Host, dynCount); err == nil && freeIt {
+						cl.DynFree(env.JobID, grant.ClientID)
+					}
+				}
+				tb.s.Sleep(runFor)
+			}
+			id, err := c.Submit(spec)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			ids = append(ids, id)
+			tb.s.Sleep(time.Duration(rng.Intn(40)) * time.Millisecond)
+			// Occasionally qdel a random earlier job.
+			if rng.Intn(5) == 0 {
+				c.Delete(ids[rng.Intn(len(ids))])
+			}
+		}
+		for _, id := range ids {
+			info, err := c.Wait(id)
+			if err != nil {
+				t.Fatalf("Wait %s: %v", id, err)
+			}
+			switch info.State {
+			case pbs.JobCompleted, pbs.JobDeleted:
+			default:
+				t.Errorf("job %s in non-terminal state %v", id, info.State)
+			}
+			if info.State == pbs.JobCompleted {
+				if !(info.SubmittedAt <= info.AllocatedAt && info.AllocatedAt <= info.StartedAt && info.StartedAt <= info.CompletedAt) {
+					t.Errorf("job %s timestamps out of order: %+v", id, info)
+				}
+			}
+			for _, rec := range info.DynRecords {
+				if rec.State != pbs.DynGranted && rec.State != pbs.DynRejected {
+					t.Errorf("job %s dyn request %d ended in %v", id, rec.ReqID, rec.State)
+				}
+				if rec.State == pbs.DynGranted && len(rec.Hosts) == 0 {
+					t.Errorf("job %s granted empty host set", id)
+				}
+			}
+		}
+		// Let in-flight disassociations settle.
+		tb.s.Sleep(200 * time.Millisecond)
+		nodes, err := c.Nodes()
+		if err != nil {
+			t.Fatalf("Nodes: %v", err)
+		}
+		for _, n := range nodes {
+			if len(n.Jobs) != 0 || n.UsedCores != 0 {
+				t.Errorf("leaked resources on %s: %+v", n.Name, n)
+			}
+		}
+	})
+}

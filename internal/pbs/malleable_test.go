@@ -1,0 +1,139 @@
+package pbs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+)
+
+// The malleable extension (paper Section V): jobs grow and shrink
+// their compute-node set at runtime through the same dynqueued path
+// as accelerator requests.
+
+func TestMalleableJobGrowsComputeNodes(t *testing.T) {
+	tb := newTestbed(t, 4, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		var grant pbs.DynGrant
+		var dynErr, freeErr error
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "malleable", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				grant, dynErr = cl.DynGetNodes(env.JobID, env.Host, 2, 4)
+				if dynErr == nil {
+					freeErr = cl.DynFree(env.JobID, grant.ClientID)
+				}
+			},
+		})
+		info, err := c.Wait(id)
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if dynErr != nil {
+			t.Fatalf("DynGetNodes: %v", dynErr)
+		}
+		if freeErr != nil {
+			t.Fatalf("DynFree: %v", freeErr)
+		}
+		if len(grant.Hosts) != 2 {
+			t.Fatalf("granted hosts = %v", grant.Hosts)
+		}
+		for _, h := range grant.Hosts {
+			if h == info.Hosts[0] {
+				t.Errorf("granted the job's own node %s", h)
+			}
+		}
+		if len(info.DynRecords) != 1 {
+			t.Fatalf("records = %+v", info.DynRecords)
+		}
+		rec := info.DynRecords[0]
+		if rec.Kind != pbs.KindCompute || rec.PPN != 4 || rec.State != pbs.DynGranted {
+			t.Errorf("record = %+v", rec)
+		}
+		if rec.FreedAt == 0 {
+			t.Error("FreedAt not recorded")
+		}
+		nodes, _ := c.Nodes()
+		for _, n := range nodes {
+			if len(n.Jobs) != 0 || n.UsedCores != 0 {
+				t.Errorf("node %s not cleaned up: %+v", n.Name, n)
+			}
+		}
+	})
+}
+
+func TestMalleableRequestRejectedWhenShort(t *testing.T) {
+	tb := newTestbed(t, 2, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		var dynErr error
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "m", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				// Only 1 other node exists; ask for 3.
+				_, dynErr = cl.DynGetNodes(env.JobID, env.Host, 3, 1)
+			},
+		})
+		c.Wait(id)
+		if dynErr == nil {
+			t.Fatal("expected rejection")
+		}
+	})
+}
+
+func TestMalleableDoesNotGrantOwnOrBusyNodes(t *testing.T) {
+	tb := newTestbed(t, 3, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		// A second job occupies cn2 entirely.
+		blocker, _ := c.Submit(pbs.JobSpec{Name: "blk", Owner: "v", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(400 * time.Millisecond) }})
+		tb.s.Sleep(100 * time.Millisecond)
+		var grant pbs.DynGrant
+		var dynErr error
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "m", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				grant, dynErr = cl.DynGetNodes(env.JobID, env.Host, 1, 8)
+			},
+		})
+		info, _ := c.Wait(id)
+		c.Wait(blocker)
+		if dynErr != nil {
+			t.Fatalf("DynGetNodes: %v", dynErr)
+		}
+		if len(grant.Hosts) != 1 {
+			t.Fatalf("hosts = %v", grant.Hosts)
+		}
+		if grant.Hosts[0] == info.Hosts[0] {
+			t.Error("granted the job's own node")
+		}
+	})
+}
+
+func TestMalleablePPNDefaultsToOne(t *testing.T) {
+	tb := newTestbed(t, 2, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "m", Owner: "u", Nodes: 1, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				if _, err := cl.DynGetNodes(env.JobID, env.Host, 1, 0); err != nil {
+					t.Errorf("DynGetNodes with ppn=0: %v", err)
+				}
+			},
+		})
+		info, _ := c.Wait(id)
+		if len(info.DynRecords) != 1 || info.DynRecords[0].PPN != 1 {
+			t.Errorf("records = %+v", info.DynRecords)
+		}
+	})
+}
+
+func TestResourceKindString(t *testing.T) {
+	if pbs.KindAccelerator.String() != "accelerator" || pbs.KindCompute.String() != "compute" {
+		t.Fatal("kind strings wrong")
+	}
+}

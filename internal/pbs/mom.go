@@ -1,0 +1,368 @@
+package pbs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// MomEndpoint returns the fabric name of the pbs_mom on a host.
+func MomEndpoint(host string) string { return "pbs/mom@" + host }
+
+// MomParams is the mom's cost model.
+type MomParams struct {
+	// JoinCost is the processing time of a JOIN_JOB on a sister mom.
+	JoinCost time.Duration
+	// DynJoinCost is the processing time of a DYNJOIN_JOB on a newly
+	// added accelerator mom. The mother superior drives DYNJOIN
+	// serially, so the batch-system share of a dynamic allocation
+	// grows with the request size (Figure 7(b)).
+	DynJoinCost time.Duration
+	// StartCost is the mother superior's job-startup overhead.
+	StartCost time.Duration
+	// HeartbeatEvery enables periodic liveness reports to the server
+	// (zero disables; pair with ServerParams.DeadAfter).
+	HeartbeatEvery time.Duration
+}
+
+// DaemonStarter launches the accelerator daemons backing one compute
+// node's statically allocated accelerator set. It is installed by the
+// cluster wiring (the DAC layer provides the implementation) and runs
+// asynchronously while the job script starts, as in paper Figure 5.
+type DaemonStarter func(jobID, cn string, acHosts []string)
+
+// Mom is a pbs_mom daemon: it joins jobs, launches tasks, and — in
+// the DAC environment — handles dynamic addition and removal of
+// accelerator hosts.
+type Mom struct {
+	net    *netsim.Network
+	sim    *sim.Simulation
+	host   string
+	ep     *netsim.Endpoint
+	params MomParams
+
+	// Cluster is the opaque handle exposed to job scripts through
+	// JobEnv.Cluster.
+	Cluster any
+	// StartDaemons, when non-nil, is invoked by the mother superior
+	// for each compute node of a DAC job with static accelerators.
+	StartDaemons DaemonStarter
+	// Prologue and Epilogue, when non-nil, run around every task on
+	// this mom — TORQUE's per-job prologue/epilogue scripts (site
+	// setup such as scratch directories or GPU health checks). They
+	// run in the task's actor; an Epilogue runs even if the job
+	// script panics the conventional way (returns normally).
+	Prologue func(env *JobEnv)
+	Epilogue func(env *JobEnv)
+
+	mu   sync.Mutex
+	jobs map[string]*momJob
+}
+
+type momJob struct {
+	id       string
+	ms       string
+	hosts    []string // current full host set of the job
+	isMS     bool
+	spec     JobSpec
+	accHosts map[string][]string
+	tasksRun int  // compute node tasks still running (MS only)
+	released bool // job ended; tasks being killed
+	aborted  bool
+}
+
+// NewMom creates the mom daemon for a host; call Start to spawn its
+// actor.
+func NewMom(net *netsim.Network, host string, params MomParams) *Mom {
+	return &Mom{
+		net:    net,
+		sim:    net.Sim(),
+		host:   host,
+		ep:     net.Endpoint(MomEndpoint(host)),
+		params: params,
+		jobs:   make(map[string]*momJob),
+	}
+}
+
+// Host returns the host this mom manages.
+func (m *Mom) Host() string { return m.host }
+
+// Start spawns the mom actor (plus its heartbeat sender when
+// enabled); the loops exit when the fabric closes.
+func (m *Mom) Start() {
+	m.startHeartbeats()
+	m.sim.Go("pbs_mom@"+m.host, func() {
+		for {
+			// Acknowledgements are consumed by the mother-superior
+			// actors blocked in RecvMatch, never by the main loop.
+			msg, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
+				switch msg.Payload.(type) {
+				case JoinAck, DynJoinAck, DisJoinAck:
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return
+			}
+			m.handle(msg)
+		}
+	})
+}
+
+func (m *Mom) send(to string, payload any) {
+	_ = m.ep.Send(to, "pbs", payload, 0)
+}
+
+func (m *Mom) handle(msg *netsim.Message) {
+	switch req := msg.Payload.(type) {
+	case RunJobMsg:
+		// Becoming mother superior blocks on sister acknowledgements;
+		// run it as its own actor so the mom loop keeps serving —
+		// otherwise two mother superiors joining each other's hosts
+		// would deadlock.
+		m.sim.Go("ms/"+req.JobID+"@"+m.host, func() { m.runJob(req) })
+	case JoinJobMsg:
+		m.sim.Sleep(m.params.JoinCost)
+		m.mu.Lock()
+		m.jobs[req.JobID] = &momJob{id: req.JobID, ms: req.MS, hosts: append([]string(nil), req.Hosts...)}
+		m.mu.Unlock()
+		m.send(req.ReplyTo, JoinAck{JobID: req.JobID, Host: m.host})
+	case DynJoinJobMsg:
+		m.sim.Sleep(m.params.DynJoinCost)
+		m.mu.Lock()
+		m.jobs[req.JobID] = &momJob{id: req.JobID, ms: req.MS}
+		m.mu.Unlock()
+		m.send(req.ReplyTo, DynJoinAck{JobID: req.JobID, Host: m.host})
+	case DisJoinJobMsg:
+		// Kill remaining tasks (accelerator daemon remains) and leave
+		// the job entirely.
+		m.mu.Lock()
+		delete(m.jobs, req.JobID)
+		m.mu.Unlock()
+		m.send(req.ReplyTo, DisJoinAck{JobID: req.JobID, Host: m.host})
+	case UpdateJobMsg:
+		m.mu.Lock()
+		if j, ok := m.jobs[req.JobID]; ok {
+			j.hosts = append([]string(nil), req.Hosts...)
+		}
+		m.mu.Unlock()
+	case StartTaskMsg:
+		m.startTask(req)
+	case TaskDoneMsg:
+		m.taskDone(req)
+	case DynAddMsg:
+		m.sim.Go("dynadd/"+req.JobID+"@"+m.host, func() { m.dynAdd(req) })
+	case DynRemoveMsg:
+		m.sim.Go("dynremove/"+req.JobID+"@"+m.host, func() { m.dynRemove(req) })
+	case ReleaseJobMsg:
+		m.mu.Lock()
+		if j, ok := m.jobs[req.JobID]; ok {
+			j.released = true
+			delete(m.jobs, req.JobID)
+		}
+		m.mu.Unlock()
+	case AbortJobMsg:
+		m.mu.Lock()
+		if j, ok := m.jobs[req.JobID]; ok {
+			j.aborted = true
+		}
+		m.mu.Unlock()
+	case NodeLostMsg:
+		m.mu.Lock()
+		if j, ok := m.jobs[req.JobID]; ok {
+			j.hosts = removeHost(j.hosts, req.Host)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// runJob makes this mom the mother superior: JOIN with the sister
+// moms on every allocated host, start the accelerator daemons, then
+// start the job script on each compute node (paper Figure 5).
+func (m *Mom) runJob(req RunJobMsg) {
+	m.sim.Sleep(m.params.StartCost)
+	allHosts := append([]string(nil), req.Hosts...)
+	for _, cn := range req.Hosts {
+		allHosts = append(allHosts, req.AccHosts[cn]...)
+	}
+	m.mu.Lock()
+	m.jobs[req.JobID] = &momJob{
+		id:       req.JobID,
+		ms:       m.host,
+		hosts:    allHosts,
+		isMS:     true,
+		spec:     req.Spec,
+		accHosts: req.AccHosts,
+		tasksRun: len(req.Hosts),
+	}
+	m.mu.Unlock()
+
+	// JOIN_JOB with every other mom of the job.
+	pending := 0
+	for _, h := range allHosts {
+		if h == m.host {
+			continue
+		}
+		m.send(MomEndpoint(h), JoinJobMsg{JobID: req.JobID, MS: m.host, Hosts: allHosts, ReplyTo: m.ep.Name()})
+		pending++
+	}
+	for i := 0; i < pending; i++ {
+		if _, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
+			ack, ok := msg.Payload.(JoinAck)
+			return ok && ack.JobID == req.JobID
+		}); err != nil {
+			return
+		}
+	}
+
+	// Invoke the accelerator daemons for each compute node's static
+	// set. The launch is asynchronous: AC_Init in the application
+	// waits for readiness, which is the dominant share of Figure 7(a).
+	if m.StartDaemons != nil {
+		for _, cn := range req.Hosts {
+			if acs := req.AccHosts[cn]; len(acs) > 0 {
+				cn, acs := cn, acs
+				m.sim.Go(fmt.Sprintf("daemon-start/%s/%s", req.JobID, cn), func() {
+					m.StartDaemons(req.JobID, cn, acs)
+				})
+			}
+		}
+	}
+
+	// Start the user application on every compute node.
+	for rank, cn := range req.Hosts {
+		env := &JobEnv{
+			JobID:    req.JobID,
+			Rank:     rank,
+			Host:     cn,
+			Hosts:    append([]string(nil), req.Hosts...),
+			AccHosts: append([]string(nil), req.AccHosts[cn]...),
+			ServerEP: ServerEndpoint,
+			MSHost:   m.host,
+		}
+		m.send(MomEndpoint(cn), StartTaskMsg{JobID: req.JobID, Env: env, Script: req.Spec.Script})
+	}
+	m.send(ServerEndpoint, JobStartedMsg{JobID: req.JobID})
+}
+
+// startTask runs the job script for one compute node as a fresh
+// actor.
+func (m *Mom) startTask(req StartTaskMsg) {
+	env := req.Env
+	env.Cluster = m.Cluster
+	ms := env.MSHost
+	if req.Script == nil {
+		// An empty job script finishes immediately.
+		m.send(MomEndpoint(ms), TaskDoneMsg{JobID: req.JobID, Host: m.host})
+		return
+	}
+	m.sim.Go(fmt.Sprintf("task/%s@%s", req.JobID, m.host), func() {
+		if m.Prologue != nil {
+			m.Prologue(env)
+		}
+		req.Script(env)
+		if m.Epilogue != nil {
+			m.Epilogue(env)
+		}
+		m.send(MomEndpoint(ms), TaskDoneMsg{JobID: req.JobID, Host: m.host})
+	})
+}
+
+// taskDone tracks completion at the mother superior; when the last
+// compute node task exits, the job is reported done to the server.
+func (m *Mom) taskDone(req TaskDoneMsg) {
+	m.mu.Lock()
+	j, ok := m.jobs[req.JobID]
+	if !ok || !j.isMS {
+		m.mu.Unlock()
+		return
+	}
+	j.tasksRun--
+	done := j.tasksRun == 0
+	m.mu.Unlock()
+	if done {
+		m.send(ServerEndpoint, JobDoneMsg{JobID: req.JobID})
+	}
+}
+
+// dynAdd incorporates dynamically allocated accelerators: DYNJOIN
+// each new mom (serially, as the paper's mother superior does), tell
+// the existing moms about the enlarged host set, and ack the server.
+func (m *Mom) dynAdd(req DynAddMsg) {
+	for _, h := range req.Hosts {
+		m.send(MomEndpoint(h), DynJoinJobMsg{JobID: req.JobID, MS: m.host, ReplyTo: m.ep.Name()})
+		if _, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
+			ack, ok := msg.Payload.(DynJoinAck)
+			return ok && ack.JobID == req.JobID && ack.Host == h
+		}); err != nil {
+			return
+		}
+	}
+	m.mu.Lock()
+	j, ok := m.jobs[req.JobID]
+	var others []string
+	if ok {
+		j.hosts = append(j.hosts, req.Hosts...)
+		others = append([]string(nil), j.hosts...)
+	}
+	m.mu.Unlock()
+	// Update the existing moms' databases (asynchronous).
+	for _, h := range others {
+		if h == m.host || contains(req.Hosts, h) {
+			continue
+		}
+		m.send(MomEndpoint(h), UpdateJobMsg{JobID: req.JobID, Hosts: others})
+	}
+	m.send(req.ReplyTo, DynAddAck{JobID: req.JobID, ReqID: req.ReqID})
+}
+
+// dynRemove drives DISJOIN_JOB for a released dynamic set and updates
+// the remaining moms.
+func (m *Mom) dynRemove(req DynRemoveMsg) {
+	for _, h := range req.Hosts {
+		m.send(MomEndpoint(h), DisJoinJobMsg{JobID: req.JobID, ReplyTo: m.ep.Name()})
+		if _, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
+			ack, ok := msg.Payload.(DisJoinAck)
+			return ok && ack.JobID == req.JobID && ack.Host == h
+		}); err != nil {
+			return
+		}
+	}
+	m.mu.Lock()
+	j, ok := m.jobs[req.JobID]
+	var others []string
+	if ok {
+		j.hosts = without(j.hosts, req.Hosts)
+		others = append([]string(nil), j.hosts...)
+	}
+	m.mu.Unlock()
+	for _, h := range others {
+		if h == m.host {
+			continue
+		}
+		m.send(MomEndpoint(h), UpdateJobMsg{JobID: req.JobID, Hosts: others})
+	}
+}
+
+func contains(hs []string, h string) bool {
+	for _, x := range hs {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
+func without(hs, remove []string) []string {
+	out := hs[:0]
+	for _, h := range hs {
+		if !contains(remove, h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,829 @@
+package pbs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ServerEndpoint is the fabric name of the pbs_server daemon.
+const ServerEndpoint = "pbs/server"
+
+// ErrUnknownJob is returned for operations on nonexistent jobs.
+var ErrUnknownJob = errors.New("pbs: unknown job")
+
+// ServerParams is the server's cost model.
+type ServerParams struct {
+	// Processing is the handling cost the single-threaded server pays
+	// per incoming request; it serializes everything the server does,
+	// which is what produces the staircase of Figure 9.
+	Processing time.Duration
+	// DeadAfter enables the failure detector: a node silent for
+	// longer than this is declared down (zero disables detection).
+	// Moms must send heartbeats at a period well below DeadAfter.
+	DeadAfter time.Duration
+}
+
+// Server is the pbs_server daemon: job queues, the node database, and
+// the dynamic-request machinery added for the DAC environment.
+type Server struct {
+	net    *netsim.Network
+	sim    *sim.Simulation
+	ep     *netsim.Endpoint
+	params ServerParams
+
+	mu         sync.Mutex
+	schedEP    string
+	nextJob    int
+	nextClient int
+	nextDyn    int
+	jobs       map[string]*serverJob
+	order      []string
+	nodes      map[string]*serverNode
+	nodeOrder  []string
+	dynQ       []*DynRecord
+	dynReply   map[int]dynReplyTo // server dyn id -> client reply route
+	dynBusy    bool
+	waiters    map[string][]waiter
+	lastSeen   map[string]time.Duration
+	acct       []AccountingRecord
+	errs       []string
+}
+
+// dynReplyTo remembers where and with which client-side request id a
+// dynamic request must be answered. Client request ids are only
+// unique per client, so the server keys its queue by its own ids.
+type dynReplyTo struct {
+	ep        string
+	clientReq int
+}
+
+type serverJob struct {
+	info JobInfo
+}
+
+type serverNode struct {
+	info   NodeInfo
+	usedBy map[string]int // jobID -> cores (compute) or accelerator count (1)
+
+	// Accounting (see accounting.go).
+	busyCoreSeconds float64
+	lastChange      time.Duration
+}
+
+type waiter struct {
+	reqID   int
+	replyTo string
+}
+
+// NewServer creates the server daemon; call AddNode for each cluster
+// node and Start to spawn its actor.
+func NewServer(net *netsim.Network, params ServerParams) *Server {
+	return &Server{
+		net:      net,
+		sim:      net.Sim(),
+		ep:       net.Endpoint(ServerEndpoint),
+		params:   params,
+		jobs:     make(map[string]*serverJob),
+		nodes:    make(map[string]*serverNode),
+		dynReply: make(map[int]dynReplyTo),
+		waiters:  make(map[string][]waiter),
+		lastSeen: make(map[string]time.Duration),
+	}
+}
+
+// AddNode registers a node in the server's node database.
+func (s *Server) AddNode(name string, typ NodeType, cores int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes[name] = &serverNode{
+		info:   NodeInfo{Name: name, Type: typ, Cores: cores},
+		usedBy: make(map[string]int),
+	}
+	s.nodeOrder = append(s.nodeOrder, name)
+	s.lastSeen[name] = s.sim.Now()
+}
+
+// SetScheduler installs the scheduler's endpoint for kick
+// notifications.
+func (s *Server) SetScheduler(ep string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schedEP = ep
+}
+
+// Errors returns protocol anomalies the server observed (for tests).
+func (s *Server) Errors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.errs...)
+}
+
+// Start spawns the server actor (plus the failure detector when
+// enabled). The loops exit when the fabric is closed.
+func (s *Server) Start() {
+	s.startFailureDetector()
+	s.sim.Go("pbs_server", func() {
+		for {
+			m, err := s.ep.Recv()
+			if err != nil {
+				return
+			}
+			if _, stop := m.Payload.(stopMsg); stop {
+				return
+			}
+			s.sim.Sleep(s.params.Processing)
+			s.handle(m)
+		}
+	})
+}
+
+func (s *Server) send(to string, payload any) {
+	if err := s.ep.Send(to, "pbs", payload, 0); err != nil {
+		s.mu.Lock()
+		s.errs = append(s.errs, fmt.Sprintf("send to %s: %v", to, err))
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) kickScheduler(reason string) {
+	s.mu.Lock()
+	ep := s.schedEP
+	s.mu.Unlock()
+	if ep != "" {
+		s.send(ep, SchedKick{Reason: reason})
+	}
+}
+
+func (s *Server) logErr(format string, args ...any) {
+	s.mu.Lock()
+	s.errs = append(s.errs, fmt.Sprintf(format, args...))
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(m *netsim.Message) {
+	switch req := m.Payload.(type) {
+	case SubmitReq:
+		s.handleSubmit(req)
+	case StatReq:
+		s.handleStat(req)
+	case NodesReq:
+		s.send(req.ReplyTo, NodesResp{ReqID: req.ReqID, Nodes: s.nodeView()})
+	case AlterReq:
+		s.handleAlter(req)
+	case HoldReq:
+		s.handleHold(req)
+	case ListReq:
+		s.handleList(req)
+	case DeleteReq:
+		s.handleDelete(req)
+	case WaitReq:
+		s.handleWait(req)
+	case DynGetReq:
+		s.handleDynGet(req)
+	case DynFreeReq:
+		s.handleDynFree(req)
+	case SchedInfoReq:
+		s.handleSchedInfo(req)
+	case AllocCmd:
+		s.handleAlloc(req)
+	case DynAllocCmd:
+		s.handleDynAlloc(req)
+	case JobStartedMsg:
+		if s.withJob(req.JobID, func(j *serverJob) { j.info.StartedAt = s.sim.Now() }) {
+			s.account(AcctStarted, req.JobID, "")
+		}
+	case JobDoneMsg:
+		s.handleJobDone(req.JobID)
+	case DynAddAck:
+		s.handleDynAddAck(req)
+	case HeartbeatMsg:
+		s.heartbeat(req.Host)
+	default:
+		s.logErr("server: unexpected message %T from %s", m.Payload, m.From)
+	}
+}
+
+func (s *Server) withJob(id string, fn func(*serverJob)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	fn(j)
+	return true
+}
+
+func (s *Server) handleSubmit(req SubmitReq) {
+	if req.Spec.Nodes <= 0 || req.Spec.PPN < 0 || req.Spec.ACPN < 0 {
+		s.send(req.ReplyTo, SubmitResp{ReqID: req.ReqID, Err: "pbs: invalid resource request"})
+		return
+	}
+	s.mu.Lock()
+	s.nextJob++
+	id := fmt.Sprintf("%d.%s", s.nextJob, ServerEndpoint)
+	s.jobs[id] = &serverJob{info: JobInfo{
+		ID:          id,
+		Spec:        req.Spec,
+		State:       JobQueued,
+		AccHosts:    make(map[string][]string),
+		DynSets:     make(map[int][]string),
+		SubmittedAt: s.sim.Now(),
+	}}
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.account(AcctQueued, id, "owner=%s %s", req.Spec.Owner, FormatResourceRequest(req.Spec))
+	s.send(req.ReplyTo, SubmitResp{ReqID: req.ReqID, JobID: id})
+	s.kickScheduler("submit")
+}
+
+func (s *Server) handleStat(req StatReq) {
+	s.mu.Lock()
+	j, ok := s.jobs[req.JobID]
+	var info JobInfo
+	if ok {
+		info = cloneInfo(j.info)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.send(req.ReplyTo, StatResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
+		return
+	}
+	s.send(req.ReplyTo, StatResp{ReqID: req.ReqID, Info: info})
+}
+
+// handleAlter applies qalter to a job that has not started yet.
+func (s *Server) handleAlter(req AlterReq) {
+	s.mu.Lock()
+	j, ok := s.jobs[req.JobID]
+	if !ok {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, AlterResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
+		return
+	}
+	if j.info.State != JobQueued {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, AlterResp{ReqID: req.ReqID, Err: "pbs: job already started"})
+		return
+	}
+	if req.Priority != nil {
+		j.info.Spec.Priority = *req.Priority
+	}
+	if req.Walltime > 0 {
+		j.info.Spec.Walltime = req.Walltime
+	}
+	if req.Name != "" {
+		j.info.Spec.Name = req.Name
+	}
+	s.mu.Unlock()
+	s.send(req.ReplyTo, AlterResp{ReqID: req.ReqID})
+	s.kickScheduler("qalter")
+}
+
+// handleHold applies qhold/qrls to a queued job.
+func (s *Server) handleHold(req HoldReq) {
+	s.mu.Lock()
+	j, ok := s.jobs[req.JobID]
+	if !ok {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, HoldResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
+		return
+	}
+	if j.info.State != JobQueued {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, HoldResp{ReqID: req.ReqID, Err: "pbs: job not queued"})
+		return
+	}
+	j.info.Held = req.Hold
+	s.mu.Unlock()
+	s.send(req.ReplyTo, HoldResp{ReqID: req.ReqID})
+	if !req.Hold {
+		s.kickScheduler("qrls")
+	}
+}
+
+// handleList returns every job in submission order.
+func (s *Server) handleList(req ListReq) {
+	s.mu.Lock()
+	jobs := make([]JobInfo, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, cloneInfo(s.jobs[id].info))
+	}
+	s.mu.Unlock()
+	s.send(req.ReplyTo, ListResp{ReqID: req.ReqID, Jobs: jobs})
+}
+
+func (s *Server) handleDelete(req DeleteReq) {
+	s.mu.Lock()
+	j, ok := s.jobs[req.JobID]
+	if !ok {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, DeleteResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
+		return
+	}
+	state := j.info.State
+	var hosts []string
+	if state == JobRunning {
+		hosts = jobHosts(j.info)
+	}
+	if state == JobQueued || state == JobRunning {
+		j.info.State = JobDeleted
+		j.info.CompletedAt = s.sim.Now()
+		s.freeJobLocked(req.JobID)
+	}
+	ms := ""
+	if len(j.info.Hosts) > 0 {
+		ms = j.info.Hosts[0]
+	}
+	s.mu.Unlock()
+	if state == JobRunning && ms != "" {
+		s.send(MomEndpoint(ms), AbortJobMsg{JobID: req.JobID})
+		for _, h := range hosts {
+			s.send(MomEndpoint(h), ReleaseJobMsg{JobID: req.JobID})
+		}
+	}
+	if state == JobQueued || state == JobRunning {
+		s.account(AcctDeleted, req.JobID, "")
+	}
+	s.send(req.ReplyTo, DeleteResp{ReqID: req.ReqID})
+	s.notifyWaiters(req.JobID)
+	s.kickScheduler("delete")
+}
+
+func (s *Server) handleWait(req WaitReq) {
+	s.mu.Lock()
+	j, ok := s.jobs[req.JobID]
+	if !ok {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, WaitResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
+		return
+	}
+	if j.info.State == JobCompleted || j.info.State == JobDeleted {
+		info := cloneInfo(j.info)
+		s.mu.Unlock()
+		s.send(req.ReplyTo, WaitResp{ReqID: req.ReqID, Info: info})
+		return
+	}
+	s.waiters[req.JobID] = append(s.waiters[req.JobID], waiter{reqID: req.ReqID, replyTo: req.ReplyTo})
+	s.mu.Unlock()
+}
+
+func (s *Server) notifyWaiters(jobID string) {
+	s.mu.Lock()
+	ws := s.waiters[jobID]
+	delete(s.waiters, jobID)
+	var info JobInfo
+	if j, ok := s.jobs[jobID]; ok {
+		info = cloneInfo(j.info)
+	}
+	s.mu.Unlock()
+	for _, w := range ws {
+		s.send(w.replyTo, WaitResp{ReqID: w.reqID, Info: info})
+	}
+}
+
+// handleDynGet enqueues a dynamic request in the special dynqueued
+// state. The server services dynamic requests one at a time; see
+// startNextDynLocked.
+func (s *Server) handleDynGet(req DynGetReq) {
+	s.mu.Lock()
+	j, ok := s.jobs[req.JobID]
+	if !ok || j.info.State != JobRunning || req.Count <= 0 {
+		s.mu.Unlock()
+		reason := "pbs: job not running"
+		if req.Count <= 0 {
+			reason = "pbs: invalid accelerator count"
+		}
+		s.send(req.ReplyTo, DynGetResp{ReqID: req.ReqID, ClientID: -1, Err: reason})
+		return
+	}
+	ppn := req.PPN
+	if req.Kind == KindCompute && ppn <= 0 {
+		ppn = 1
+	}
+	s.nextDyn++
+	rec := &DynRecord{
+		ReqID:     s.nextDyn,
+		JobID:     req.JobID,
+		CN:        req.CN,
+		Count:     req.Count,
+		Kind:      req.Kind,
+		PPN:       ppn,
+		State:     DynQueued,
+		ClientID:  -1,
+		ArrivedAt: s.sim.Now(),
+	}
+	s.dynQ = append(s.dynQ, rec)
+	s.dynReply[rec.ReqID] = dynReplyTo{ep: req.ReplyTo, clientReq: req.ReqID}
+	s.startNextDynLocked()
+	s.mu.Unlock()
+}
+
+// startNextDynLocked promotes the oldest dynqueued request to
+// scheduling and kicks the scheduler. Callers hold s.mu.
+func (s *Server) startNextDynLocked() {
+	if s.dynBusy {
+		return
+	}
+	for _, rec := range s.dynQ {
+		if rec.State == DynQueued {
+			rec.State = DynScheduling
+			rec.ServiceAt = s.sim.Now()
+			s.dynBusy = true
+			if s.schedEP != "" {
+				s.sendLockedSafe(s.schedEP, SchedKick{Reason: "dynqueued"})
+			}
+			return
+		}
+	}
+}
+
+// sendLockedSafe sends while s.mu is held; netsim Send never blocks,
+// so this cannot deadlock, but keep it distinct for clarity.
+func (s *Server) sendLockedSafe(to string, payload any) {
+	if err := s.ep.Send(to, "pbs", payload, 0); err != nil {
+		s.errs = append(s.errs, fmt.Sprintf("send to %s: %v", to, err))
+	}
+}
+
+func (s *Server) handleDynFree(req DynFreeReq) {
+	s.mu.Lock()
+	j, ok := s.jobs[req.JobID]
+	if !ok {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, DynFreeResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
+		return
+	}
+	hosts, ok := j.info.DynSets[req.ClientID]
+	if !ok {
+		s.mu.Unlock()
+		s.send(req.ReplyTo, DynFreeResp{ReqID: req.ReqID, Err: "pbs: unknown client-id"})
+		return
+	}
+	delete(j.info.DynSets, req.ClientID)
+	for i := range j.info.DynRecords {
+		if j.info.DynRecords[i].ClientID == req.ClientID {
+			j.info.DynRecords[i].FreedAt = s.sim.Now()
+		}
+	}
+	for _, h := range hosts {
+		if n, ok := s.nodes[h]; ok {
+			delete(n.usedBy, req.JobID)
+			s.refreshLocked(n)
+		}
+	}
+	ms := ""
+	if len(j.info.Hosts) > 0 {
+		ms = j.info.Hosts[0]
+	}
+	s.mu.Unlock()
+
+	// Positive reply first; disassociation proceeds while the
+	// application continues (paper Section III-D).
+	s.account(AcctDynFree, req.JobID, "client=%d", req.ClientID)
+	s.send(req.ReplyTo, DynFreeResp{ReqID: req.ReqID})
+	if ms != "" {
+		s.send(MomEndpoint(ms), DynRemoveMsg{JobID: req.JobID, ClientID: req.ClientID, Hosts: hosts})
+	}
+	s.kickScheduler("dynfree")
+}
+
+func (s *Server) handleSchedInfo(req SchedInfoReq) {
+	s.mu.Lock()
+	resp := SchedInfoResp{ReqID: req.ReqID}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.info.State {
+		case JobQueued:
+			if j.info.Held {
+				continue // qhold: invisible to the scheduler
+			}
+			if len(j.info.Hosts) == 0 { // not yet allocated
+				resp.Queued = append(resp.Queued, cloneInfo(j.info))
+			} else {
+				resp.Running = append(resp.Running, cloneInfo(j.info))
+			}
+		case JobRunning:
+			resp.Running = append(resp.Running, cloneInfo(j.info))
+		}
+	}
+	for _, rec := range s.dynQ {
+		if rec.State == DynScheduling {
+			resp.Dyn = append(resp.Dyn, SchedDynView{
+				ReqID: rec.ReqID, JobID: rec.JobID, Count: rec.Count,
+				Kind: rec.Kind, PPN: rec.PPN, ArrivedAt: rec.ArrivedAt,
+			})
+		}
+	}
+	resp.Nodes = s.nodeViewLocked()
+	s.mu.Unlock()
+	s.send(req.ReplyTo, resp)
+}
+
+func (s *Server) handleAlloc(cmd AllocCmd) {
+	s.mu.Lock()
+	j, ok := s.jobs[cmd.JobID]
+	if !ok || j.info.State != JobQueued || j.info.Held || len(j.info.Hosts) > 0 {
+		// A job deleted, failed, or held while the scheduler was
+		// mid-cycle legitimately races its allocation; drop the
+		// command.
+		benign := ok && (j.info.Held || j.info.State == JobDeleted || j.info.State == JobCompleted || j.info.State == JobFailed)
+		s.mu.Unlock()
+		if !benign {
+			s.logErr("AllocCmd for job %s in invalid state", cmd.JobID)
+		}
+		return
+	}
+	// Validate and commit the assignment.
+	for _, h := range cmd.Hosts {
+		n, ok := s.nodes[h]
+		if !ok || n.info.Type != ComputeNode || n.info.FreeCores() < j.info.Spec.PPN {
+			s.mu.Unlock()
+			s.logErr("AllocCmd for job %s: compute node %s unavailable", cmd.JobID, h)
+			return
+		}
+	}
+	for _, acs := range cmd.AccHosts {
+		for _, h := range acs {
+			n, ok := s.nodes[h]
+			if !ok || n.info.Type != AcceleratorNode || len(n.usedBy) > 0 {
+				s.mu.Unlock()
+				s.logErr("AllocCmd for job %s: accelerator %s unavailable", cmd.JobID, h)
+				return
+			}
+		}
+	}
+	for _, h := range cmd.Hosts {
+		n := s.nodes[h]
+		n.usedBy[cmd.JobID] = j.info.Spec.PPN
+		s.refreshLocked(n)
+	}
+	for _, acs := range cmd.AccHosts {
+		for _, h := range acs {
+			n := s.nodes[h]
+			n.usedBy[cmd.JobID] = 1
+			s.refreshLocked(n)
+		}
+	}
+	j.info.Hosts = append([]string(nil), cmd.Hosts...)
+	j.info.AccHosts = make(map[string][]string, len(cmd.AccHosts))
+	for cn, acs := range cmd.AccHosts {
+		j.info.AccHosts[cn] = append([]string(nil), acs...)
+	}
+	j.info.AllocatedAt = s.sim.Now()
+	j.info.State = JobRunning
+	spec := j.info.Spec
+	hosts := append([]string(nil), j.info.Hosts...)
+	acc := j.info.AccHosts
+	s.mu.Unlock()
+
+	// Select the mother superior (always a compute node, paper
+	// Section III-C) and forward the job.
+	s.send(MomEndpoint(hosts[0]), RunJobMsg{JobID: cmd.JobID, Spec: spec, Hosts: hosts, AccHosts: acc})
+}
+
+func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
+	s.mu.Lock()
+	var rec *DynRecord
+	for _, r := range s.dynQ {
+		if r.ReqID == cmd.ReqID && r.State == DynScheduling {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		s.mu.Unlock()
+		s.logErr("DynAllocCmd for unknown request %d", cmd.ReqID)
+		return
+	}
+	rec.AllocAt = s.sim.Now()
+	route := s.dynReply[rec.ReqID]
+	if len(cmd.Hosts) == 0 {
+		// Rejection: reply immediately with a negative client-id.
+		rec.State = DynRejected
+		rec.RepliedAt = s.sim.Now()
+		jobID := rec.JobID
+		s.finishDynLocked(rec)
+		s.mu.Unlock()
+		s.account(AcctDynReject, jobID, "count=%d", rec.Count)
+		s.send(route.ep, DynGetResp{ReqID: route.clientReq, ClientID: -1, Err: "pbs: not enough accelerators available"})
+		return
+	}
+	j, ok := s.jobs[rec.JobID]
+	if !ok || j.info.State != JobRunning {
+		rec.State = DynRejected
+		rec.RepliedAt = s.sim.Now()
+		s.finishDynLocked(rec)
+		s.mu.Unlock()
+		s.send(route.ep, DynGetResp{ReqID: route.clientReq, ClientID: -1, Err: "pbs: job no longer running"})
+		return
+	}
+	for _, h := range cmd.Hosts {
+		n, ok := s.nodes[h]
+		bad := !ok || n.info.Down
+		if !bad {
+			switch rec.Kind {
+			case KindAccelerator:
+				bad = n.info.Type != AcceleratorNode || len(n.usedBy) > 0
+			case KindCompute:
+				// Malleable extension: the scheduler picks compute
+				// nodes this job does not already occupy.
+				bad = n.info.Type != ComputeNode || n.info.FreeCores() < rec.PPN || n.usedBy[rec.JobID] > 0
+			}
+		}
+		if bad {
+			rec.State = DynRejected
+			rec.RepliedAt = s.sim.Now()
+			s.finishDynLocked(rec)
+			s.mu.Unlock()
+			s.logErr("DynAllocCmd %d: %s %s unavailable", cmd.ReqID, rec.Kind, h)
+			s.send(route.ep, DynGetResp{ReqID: route.clientReq, ClientID: -1, Err: "pbs: allocation raced with another job"})
+			return
+		}
+	}
+	rec.State = DynForwarding
+	s.nextClient++
+	rec.ClientID = s.nextClient
+	rec.Hosts = append([]string(nil), cmd.Hosts...)
+	for _, h := range cmd.Hosts {
+		n := s.nodes[h]
+		if rec.Kind == KindCompute {
+			n.usedBy[rec.JobID] = rec.PPN
+		} else {
+			n.usedBy[rec.JobID] = 1
+		}
+		s.refreshLocked(n)
+	}
+	j.info.DynSets[rec.ClientID] = rec.Hosts
+	ms := j.info.Hosts[0]
+	s.mu.Unlock()
+
+	s.send(MomEndpoint(ms), DynAddMsg{
+		JobID: rec.JobID, ReqID: rec.ReqID, ClientID: rec.ClientID,
+		CN: rec.CN, Hosts: rec.Hosts, ReplyTo: ServerEndpoint,
+	})
+}
+
+func (s *Server) handleDynAddAck(ack DynAddAck) {
+	s.mu.Lock()
+	var rec *DynRecord
+	for _, r := range s.dynQ {
+		if r.ReqID == ack.ReqID && r.State == DynForwarding {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		s.mu.Unlock()
+		s.logErr("DynAddAck for unknown request %d", ack.ReqID)
+		return
+	}
+	rec.ForwardedAt = s.sim.Now()
+	rec.State = DynGranted
+	rec.RepliedAt = s.sim.Now()
+	route := s.dynReply[rec.ReqID]
+	resp := DynGetResp{ReqID: route.clientReq, ClientID: rec.ClientID, Hosts: append([]string(nil), rec.Hosts...)}
+	jobID := rec.JobID
+	detail := fmt.Sprintf("client=%d kind=%s hosts=%s", rec.ClientID, rec.Kind, strings.Join(rec.Hosts, "+"))
+	s.finishDynLocked(rec)
+	s.mu.Unlock()
+	s.account(AcctDynGrant, jobID, "%s", detail)
+	s.send(route.ep, resp)
+}
+
+// finishDynLocked archives a finished request into its job's record
+// and resumes servicing the queue. Callers hold s.mu.
+func (s *Server) finishDynLocked(rec *DynRecord) {
+	delete(s.dynReply, rec.ReqID)
+	for i, r := range s.dynQ {
+		if r == rec {
+			s.dynQ = append(s.dynQ[:i], s.dynQ[i+1:]...)
+			break
+		}
+	}
+	if j, ok := s.jobs[rec.JobID]; ok {
+		j.info.DynRecords = append(j.info.DynRecords, *rec)
+	}
+	s.dynBusy = false
+	s.startNextDynLocked()
+}
+
+func (s *Server) handleJobDone(jobID string) {
+	s.mu.Lock()
+	j, ok := s.jobs[jobID]
+	if !ok || j.info.State != JobRunning {
+		s.mu.Unlock()
+		return
+	}
+	j.info.State = JobCompleted
+	j.info.CompletedAt = s.sim.Now()
+	hosts := jobHosts(j.info)
+	s.freeJobLocked(jobID)
+	// Reject any dynamic requests still pending for this job.
+	var rejects []*DynRecord
+	for _, rec := range s.dynQ {
+		if rec.JobID == jobID && (rec.State == DynQueued || rec.State == DynScheduling) {
+			rejects = append(rejects, rec)
+		}
+	}
+	s.mu.Unlock()
+	for _, rec := range rejects {
+		s.mu.Lock()
+		rec.State = DynRejected
+		rec.RepliedAt = s.sim.Now()
+		route := s.dynReply[rec.ReqID]
+		s.finishDynLocked(rec)
+		s.mu.Unlock()
+		s.send(route.ep, DynGetResp{ReqID: route.clientReq, ClientID: -1, Err: "pbs: job completed"})
+	}
+	for _, h := range hosts {
+		s.send(MomEndpoint(h), ReleaseJobMsg{JobID: jobID})
+	}
+	s.account(AcctEnded, jobID, "")
+	s.notifyWaiters(jobID)
+	s.kickScheduler("jobdone")
+}
+
+// freeJobLocked releases every node held by the job. Callers hold
+// s.mu.
+func (s *Server) freeJobLocked(jobID string) {
+	for _, n := range s.nodes {
+		if _, ok := n.usedBy[jobID]; ok {
+			delete(n.usedBy, jobID)
+			s.refreshLocked(n)
+		}
+	}
+}
+
+// jobHosts lists every host associated with a job: compute nodes,
+// static accelerators, and dynamic sets.
+func jobHosts(info JobInfo) []string {
+	var out []string
+	out = append(out, info.Hosts...)
+	for _, acs := range info.AccHosts {
+		out = append(out, acs...)
+	}
+	for _, acs := range info.DynSets {
+		out = append(out, acs...)
+	}
+	return out
+}
+
+// refreshLocked recomputes the node's public view after a usedBy
+// mutation, folding the elapsed busy time into the accounting
+// integral first. Callers hold s.mu.
+func (s *Server) refreshLocked(n *serverNode) {
+	s.accrueLocked(n)
+	used := 0
+	jobs := make([]string, 0, len(n.usedBy))
+	for id, c := range n.usedBy {
+		used += c
+		jobs = append(jobs, id)
+	}
+	sort.Strings(jobs)
+	if n.info.Type == AcceleratorNode {
+		n.info.UsedCores = 0
+	} else {
+		n.info.UsedCores = used
+	}
+	n.info.Jobs = jobs
+}
+
+func (s *Server) nodeView() []NodeInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeViewLocked()
+}
+
+func (s *Server) nodeViewLocked() []NodeInfo {
+	out := make([]NodeInfo, 0, len(s.nodeOrder))
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		info := n.info
+		info.Jobs = append([]string(nil), n.info.Jobs...)
+		out = append(out, info)
+	}
+	return out
+}
+
+func cloneInfo(in JobInfo) JobInfo {
+	out := in
+	out.Hosts = append([]string(nil), in.Hosts...)
+	out.AccHosts = make(map[string][]string, len(in.AccHosts))
+	for k, v := range in.AccHosts {
+		out.AccHosts[k] = append([]string(nil), v...)
+	}
+	out.DynSets = make(map[int][]string, len(in.DynSets))
+	for k, v := range in.DynSets {
+		out.DynSets[k] = append([]string(nil), v...)
+	}
+	out.DynRecords = append([]DynRecord(nil), in.DynRecords...)
+	return out
+}

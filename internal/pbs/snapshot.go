@@ -1,0 +1,152 @@
+package pbs
+
+import (
+	"errors"
+	"time"
+)
+
+// Server checkpoint/restart, the counterpart of TORQUE's serverdb:
+// the server's durable state — jobs, node database, counters — can be
+// snapshotted and a replacement server constructed from it after a
+// head-node failure. Moms and running applications are unaffected
+// (they address the server by its well-known endpoint); requests that
+// arrive while no server runs queue in the fabric and are drained by
+// the restarted server. Dynamic requests that were mid-flight at the
+// crash are rejected on recovery, the same contract as a rejected
+// allocation: the application continues with its existing resources.
+
+// stopMsg is the internal control message that makes the server loop
+// exit (simulating a crash or an orderly shutdown).
+type stopMsg struct{}
+
+// Stop makes the server actor exit after the messages already
+// processed; the endpoint stays registered so client requests queue
+// until a restarted server drains them.
+func (s *Server) Stop() {
+	s.send(ServerEndpoint, stopMsg{})
+}
+
+// Snapshot is the serverdb image. Job scripts are retained as live
+// values (TORQUE keeps job files on disk next to the serverdb).
+type Snapshot struct {
+	TakenAt    time.Duration
+	NextJob    int
+	NextClient int
+	NextDyn    int
+	Jobs       []JobInfo
+	Order      []string
+	Nodes      []NodeInfo
+	UsedBy     map[string]map[string]int // node -> job -> cores
+	Waiters    map[string][]waiter
+	Pending    []*DynRecord
+	PendingTo  map[int]dynReplyTo
+}
+
+// Checkpoint captures the server's durable state.
+func (s *Server) Checkpoint() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		TakenAt:    s.sim.Now(),
+		NextJob:    s.nextJob,
+		NextClient: s.nextClient,
+		NextDyn:    s.nextDyn,
+		Order:      append([]string(nil), s.order...),
+		UsedBy:     make(map[string]map[string]int),
+		Waiters:    make(map[string][]waiter),
+		PendingTo:  make(map[int]dynReplyTo),
+	}
+	for _, id := range s.order {
+		snap.Jobs = append(snap.Jobs, cloneInfo(s.jobs[id].info))
+	}
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		info := n.info
+		info.Jobs = append([]string(nil), n.info.Jobs...)
+		snap.Nodes = append(snap.Nodes, info)
+		used := make(map[string]int, len(n.usedBy))
+		for j, c := range n.usedBy {
+			used[j] = c
+		}
+		snap.UsedBy[name] = used
+	}
+	for jobID, ws := range s.waiters {
+		snap.Waiters[jobID] = append([]waiter(nil), ws...)
+	}
+	for _, rec := range s.dynQ {
+		cp := *rec
+		snap.Pending = append(snap.Pending, &cp)
+		snap.PendingTo[rec.ReqID] = s.dynReply[rec.ReqID]
+	}
+	return snap
+}
+
+// Restore rebuilds a server from a snapshot. Call on a fresh server
+// created with NewServer over the same fabric (it shares the
+// well-known endpoint), then Start it. In-flight dynamic requests are
+// rejected so their clients unblock.
+func (s *Server) Restore(snap Snapshot) error {
+	s.mu.Lock()
+	if len(s.jobs) != 0 || len(s.nodes) != 0 {
+		s.mu.Unlock()
+		return errors.New("pbs: Restore on a non-empty server")
+	}
+	s.nextJob = snap.NextJob
+	s.nextClient = snap.NextClient
+	s.nextDyn = snap.NextDyn
+	s.order = append([]string(nil), snap.Order...)
+	for _, info := range snap.Jobs {
+		s.jobs[info.ID] = &serverJob{info: cloneInfo(info)}
+	}
+	now := s.sim.Now()
+	for _, info := range snap.Nodes {
+		n := &serverNode{
+			info:       info,
+			usedBy:     make(map[string]int),
+			lastChange: now,
+		}
+		n.info.Jobs = append([]string(nil), info.Jobs...)
+		for j, c := range snap.UsedBy[info.Name] {
+			n.usedBy[j] = c
+		}
+		s.nodes[info.Name] = n
+		s.nodeOrder = append(s.nodeOrder, info.Name)
+		s.lastSeen[info.Name] = now
+	}
+	for jobID, ws := range snap.Waiters {
+		s.waiters[jobID] = append([]waiter(nil), ws...)
+	}
+	rejects := append([]*DynRecord(nil), snap.Pending...)
+	routes := snap.PendingTo
+	s.mu.Unlock()
+
+	// Mid-flight dynamic requests did not survive the crash: reject
+	// them so the blocked pbs_dynget calls return and the
+	// applications continue with their existing sets.
+	for _, rec := range rejects {
+		rec.State = DynRejected
+		rec.RepliedAt = s.sim.Now()
+		s.mu.Lock()
+		if j, ok := s.jobs[rec.JobID]; ok {
+			j.info.DynRecords = append(j.info.DynRecords, *rec)
+			// Return any accelerators an in-forwarding request had
+			// already been assigned.
+			if rec.ClientID > 0 {
+				delete(j.info.DynSets, rec.ClientID)
+				for _, h := range rec.Hosts {
+					if n, ok := s.nodes[h]; ok {
+						delete(n.usedBy, rec.JobID)
+						s.refreshLocked(n)
+					}
+				}
+			}
+		}
+		s.mu.Unlock()
+		s.send(routes[rec.ReqID].ep, DynGetResp{
+			ReqID: routes[rec.ReqID].clientReq, ClientID: -1,
+			Err: "pbs: server restarted; dynamic request lost",
+		})
+	}
+	s.kickScheduler("restore")
+	return nil
+}

@@ -1,0 +1,140 @@
+package pbs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/maui"
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+)
+
+func TestServerRestartPreservesJobsAndNodes(t *testing.T) {
+	tb := newTestbed(t, 2, 2, nil)
+	tb.run(t, func(c *pbs.Client) {
+		// A running job and a queued job at checkpoint time.
+		running, _ := c.Submit(pbs.JobSpec{
+			Name: "running", Owner: "u", Nodes: 1, PPN: 8, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(300 * time.Millisecond) },
+		})
+		tb.s.Sleep(60 * time.Millisecond) // let it start
+		held, _ := c.Submit(pbs.JobSpec{
+			Name: "later", Owner: "u", Nodes: 2, PPN: 8, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(30 * time.Millisecond) },
+		})
+
+		snap := tb.server.Checkpoint()
+		tb.server.Stop()
+		tb.s.Sleep(20 * time.Millisecond) // the old server is gone
+
+		// The replacement server takes over the well-known endpoint.
+		replacement := pbs.NewServer(tb.net, pbs.ServerParams{Processing: time.Millisecond})
+		replacement.SetScheduler(tb.sched.Endpoint())
+		if err := replacement.Restore(snap); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		replacement.Start()
+
+		// The running job's completion lands at the new server.
+		info, err := c.Wait(running)
+		if err != nil {
+			t.Fatalf("Wait(running): %v", err)
+		}
+		if info.State != pbs.JobCompleted {
+			t.Errorf("running job state = %v", info.State)
+		}
+		// The queued job gets scheduled by the new server.
+		info, err = c.Wait(held)
+		if err != nil {
+			t.Fatalf("Wait(queued): %v", err)
+		}
+		if info.State != pbs.JobCompleted {
+			t.Errorf("queued job state = %v", info.State)
+		}
+		// Node accounting survived the restart.
+		nodes, _ := c.Nodes()
+		for _, n := range nodes {
+			if len(n.Jobs) != 0 {
+				t.Errorf("node %s leaked %v after restart", n.Name, n.Jobs)
+			}
+		}
+		// New submissions get fresh ids continuing the sequence.
+		id3, err := c.Submit(pbs.JobSpec{Name: "after", Owner: "u", Nodes: 1, PPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {}})
+		if err != nil {
+			t.Fatalf("Submit after restart: %v", err)
+		}
+		if id3 == running || id3 == held {
+			t.Errorf("job id reused after restart: %s", id3)
+		}
+		c.Wait(id3)
+		for _, e := range replacement.Errors() {
+			t.Errorf("replacement server error: %s", e)
+		}
+	})
+}
+
+func TestServerRestartRejectsInFlightDynRequest(t *testing.T) {
+	// A very slow dyn-allocation step keeps the request in flight at
+	// the server when the crash hits.
+	tb := newTestbed(t, 1, 3, func(p *maui.Params) {
+		p.CycleInterval = 10 * time.Second
+		p.DynPerReqCost = 5 * time.Second
+	})
+	tb.run(t, func(c *pbs.Client) {
+		var dynErr error
+		var mu sync.Mutex
+		done := tb.s.NewGate("done")
+		finished := false
+		id, _ := c.Submit(pbs.JobSpec{
+			Name: "dyn", Owner: "u", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Minute,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				_, err := cl.DynGet(env.JobID, env.Host, 1)
+				mu.Lock()
+				dynErr = err
+				finished = true
+				mu.Unlock()
+				done.Broadcast()
+			},
+		})
+		// Wait until the request is queued at the server, then crash
+		// it before the (slow) scheduler answers.
+		tb.s.Sleep(100 * time.Millisecond)
+		snap := tb.server.Checkpoint()
+		if len(snap.Pending) != 1 {
+			t.Fatalf("pending dyn requests in snapshot = %d", len(snap.Pending))
+		}
+		tb.server.Stop()
+		tb.s.Sleep(10 * time.Millisecond)
+		replacement := pbs.NewServer(tb.net, pbs.ServerParams{Processing: time.Millisecond})
+		replacement.SetScheduler(tb.sched.Endpoint())
+		if err := replacement.Restore(snap); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		replacement.Start()
+
+		mu.Lock()
+		for !finished {
+			done.Wait(&mu)
+		}
+		err := dynErr
+		mu.Unlock()
+		if err == nil || !strings.Contains(err.Error(), "server restarted") {
+			t.Fatalf("in-flight DynGet after restart: %v", err)
+		}
+		c.Wait(id)
+	})
+}
+
+func TestRestoreOnDirtyServerFails(t *testing.T) {
+	tb := newTestbed(t, 1, 0, nil)
+	tb.run(t, func(c *pbs.Client) {
+		snap := tb.server.Checkpoint()
+		if err := tb.server.Restore(snap); err == nil {
+			t.Fatal("Restore on a populated server should fail")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Gate is a condition variable integrated with the simulation's actor
+// accounting: an actor parked in Wait does not count as runnable, so
+// the virtual clock can advance past it.
+//
+// Like sync.Cond, a Gate carries no predicate. The typical pattern is
+//
+//	mu.Lock()
+//	for !ready() {
+//	    gate.Wait(&mu)
+//	}
+//	... consume ...
+//	mu.Unlock()
+//
+// with the producer holding mu around the state change and calling
+// Signal or Broadcast afterwards (with or without mu held).
+type Gate struct {
+	sim  *Simulation
+	name string
+
+	mu      sync.Mutex
+	waiters []*gateWaiter
+}
+
+type gateWaiter struct {
+	ch    chan struct{}
+	fired bool // set once by whoever wakes the waiter: Signal or timeout
+	timed bool // true when woken by the timeout event
+}
+
+// NewGate returns a Gate bound to s. The name appears in deadlock
+// diagnostics.
+func (s *Simulation) NewGate(name string) *Gate {
+	return &Gate{sim: s, name: name}
+}
+
+// Wait atomically releases l and parks the calling actor until Signal
+// or Broadcast wakes it, then re-acquires l before returning. Spurious
+// wakeups do not occur, but callers should still re-check their
+// predicate in a loop because another actor may consume the state
+// first.
+func (g *Gate) Wait(l sync.Locker) {
+	w := &gateWaiter{ch: make(chan struct{})}
+	g.mu.Lock()
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+
+	g.sim.mu.Lock()
+	g.sim.parkLocked("gate:" + g.name)
+	g.sim.mu.Unlock()
+
+	l.Unlock()
+	<-w.ch
+	g.sim.unparkNote("gate:" + g.name)
+	l.Lock()
+}
+
+// WaitTimeout is Wait with a virtual-time deadline. It reports false
+// when the wait timed out before a Signal or Broadcast arrived.
+func (g *Gate) WaitTimeout(l sync.Locker, d time.Duration) bool {
+	if d <= 0 {
+		return false
+	}
+	w := &gateWaiter{ch: make(chan struct{})}
+	g.mu.Lock()
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+
+	g.sim.mu.Lock()
+	g.sim.pushLocked(g.sim.now+d, nil, func() { g.expire(w) })
+	g.sim.parkLocked("gate:" + g.name)
+	g.sim.mu.Unlock()
+
+	l.Unlock()
+	<-w.ch
+	g.sim.unparkNote("gate:" + g.name)
+	l.Lock()
+	g.mu.Lock()
+	timed := w.timed
+	g.mu.Unlock()
+	return !timed
+}
+
+// expire runs on the controller when a WaitTimeout deadline fires. If
+// a Signal already won the race it is a lazily cancelled no-op;
+// otherwise it wakes the waiter, granting it a fresh running slot.
+func (g *Gate) expire(w *gateWaiter) {
+	g.mu.Lock()
+	if w.fired {
+		g.mu.Unlock()
+		return
+	}
+	w.fired = true
+	w.timed = true
+	for i, cand := range g.waiters {
+		if cand == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			break
+		}
+	}
+	g.mu.Unlock()
+	g.sim.markRunnable()
+	close(w.ch)
+}
+
+// Signal wakes one parked waiter in FIFO order. It is a no-op when no
+// actor is waiting. Signal may be called from actors or from At
+// callbacks.
+func (g *Gate) Signal() {
+	g.mu.Lock()
+	var w *gateWaiter
+	for len(g.waiters) > 0 {
+		cand := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		if !cand.fired {
+			cand.fired = true
+			w = cand
+			break
+		}
+	}
+	g.mu.Unlock()
+	if w != nil {
+		g.sim.markRunnable()
+		close(w.ch)
+	}
+}
+
+// Broadcast wakes every parked waiter.
+func (g *Gate) Broadcast() {
+	g.mu.Lock()
+	ws := g.waiters
+	g.waiters = nil
+	g.mu.Unlock()
+	for _, w := range ws {
+		g.mu.Lock()
+		fired := w.fired
+		if !fired {
+			w.fired = true
+		}
+		g.mu.Unlock()
+		if !fired {
+			g.sim.markRunnable()
+			close(w.ch)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import "sync"
+
+// Group is the simulation-aware analogue of sync.WaitGroup for
+// fork-join parallelism inside an actor: children spawned with Go are
+// proper actors, and Wait parks the caller without stalling the
+// virtual clock.
+type Group struct {
+	s    *Simulation
+	mu   sync.Mutex
+	gate *Gate
+	n    int
+}
+
+// NewGroup returns an empty group.
+func (s *Simulation) NewGroup(name string) *Group {
+	return &Group{s: s, gate: s.NewGate("group:" + name)}
+}
+
+// Go runs fn as a child actor tracked by the group.
+func (g *Group) Go(name string, fn func()) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.s.Go(name, func() {
+		defer func() {
+			g.mu.Lock()
+			g.n--
+			g.mu.Unlock()
+			g.gate.Broadcast()
+		}()
+		fn()
+	})
+}
+
+// Wait parks the caller until every child spawned so far has
+// finished.
+func (g *Group) Wait() {
+	g.mu.Lock()
+	for g.n > 0 {
+		g.gate.Wait(&g.mu)
+	}
+	g.mu.Unlock()
+}

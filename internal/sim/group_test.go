@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGroupWaitJoinsChildren(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		g := s.NewGroup("test")
+		var mu sync.Mutex
+		done := 0
+		for i := 0; i < 5; i++ {
+			i := i
+			g.Go("child", func() {
+				s.Sleep(time.Duration(i+1) * 10 * time.Millisecond)
+				mu.Lock()
+				done++
+				mu.Unlock()
+			})
+		}
+		g.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		if done != 5 {
+			t.Errorf("done = %d", done)
+		}
+		if got := s.Now(); got != 50*time.Millisecond {
+			t.Errorf("joined at %v, want 50ms (children overlap)", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestGroupWaitEmpty(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		g := s.NewGroup("empty")
+		g.Wait() // no children: returns immediately
+		if s.Now() != 0 {
+			t.Errorf("empty wait advanced time to %v", s.Now())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestGroupReusableAfterWait(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		g := s.NewGroup("reuse")
+		g.Go("a", func() { s.Sleep(time.Millisecond) })
+		g.Wait()
+		g.Go("b", func() { s.Sleep(time.Millisecond) })
+		g.Wait()
+		if got := s.Now(); got != 2*time.Millisecond {
+			t.Errorf("now = %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import "time"
+
+// event is a scheduled occurrence: either a wake of a parked actor
+// (wake != nil) or a controller callback (fn != nil).
+type event struct {
+	at   time.Duration
+	seq  uint64 // FIFO tie-break among events at the same instant
+	wake chan struct{}
+	fn   func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand
+// rolled rather than using container/heap to avoid interface
+// allocations on the simulation hot path.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

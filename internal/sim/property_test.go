@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: with arbitrary concurrent sleepers, virtual time at join
+// equals the maximum sleep — actors never serialize on the clock.
+func TestPropertyParallelSleepersJoinAtMax(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		s := New()
+		var max time.Duration
+		durs := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			durs[i] = time.Duration(r%1000+1) * time.Microsecond
+			if durs[i] > max {
+				max = durs[i]
+			}
+		}
+		var joinedAt time.Duration
+		err := s.Run(func() {
+			g := s.NewGroup("sleepers")
+			for _, d := range durs {
+				d := d
+				g.Go("sleeper", func() { s.Sleep(d) })
+			}
+			g.Wait()
+			joinedAt = s.Now()
+		})
+		return err == nil && joinedAt == max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sequential sleeps sum exactly (no drift, no rounding).
+func TestPropertySequentialSleepsSum(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) > 200 {
+			return true
+		}
+		s := New()
+		var want time.Duration
+		var got time.Duration
+		err := s.Run(func() {
+			for _, r := range raw {
+				d := time.Duration(r) * time.Nanosecond
+				want += d
+				s.Sleep(d)
+			}
+			got = s.Now()
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stress: deep cascades of actors spawning actors keep accounting
+// consistent and terminate.
+func TestCascadingSpawnStress(t *testing.T) {
+	s := New()
+	var mu sync.Mutex
+	count := 0
+	err := s.Run(func() {
+		g := s.NewGroup("root")
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			s.Sleep(time.Duration(depth+1) * time.Microsecond)
+			if depth < 5 {
+				for i := 0; i < 2; i++ {
+					d := depth + 1
+					g.Go("child", func() { spawn(d) })
+				}
+			}
+		}
+		g.Go("seed", func() { spawn(0) })
+		g.Wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1+2+4+8+16+32 {
+		t.Fatalf("spawned %d actors, want 63", count)
+	}
+}
+
+// Stress: interleaved timers and gates under many actors.
+func TestMixedPrimitiveStress(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		gate := s.NewGate("pulse")
+		var mu sync.Mutex
+		woken := 0
+		g := s.NewGroup("waiters")
+		const n = 32
+		for i := 0; i < n; i++ {
+			g.Go("waiter", func() {
+				mu.Lock()
+				for woken == 0 {
+					gate.Wait(&mu)
+				}
+				woken++
+				mu.Unlock()
+			})
+		}
+		s.After(time.Millisecond, func() {
+			mu.Lock()
+			woken = 1
+			mu.Unlock()
+			gate.Broadcast()
+		})
+		g.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		if woken != n+1 {
+			t.Errorf("woken = %d", woken)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64)
+// used by workload generators and jitter models. It is intentionally
+// independent of math/rand so that simulation results are reproducible
+// across Go releases.
+//
+// RNG is not safe for concurrent use; give each actor its own stream
+// via Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent generator from the current state,
+// advancing this one.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics when
+// n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed sample with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	// Inverse transform sampling; clamp u away from 0 to avoid +Inf.
+	u := r.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Norm returns a normally distributed sample via the Box–Muller
+// transform (one sample per call; the pair's second value is
+// discarded for simplicity).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}

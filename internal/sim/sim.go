@@ -1,0 +1,299 @@
+// Package sim provides a discrete-event simulation kernel with virtual
+// time and goroutine-based actors.
+//
+// The kernel lets ordinary Go code — daemons, schedulers, libraries —
+// run as concurrent goroutines while all time-bearing operations
+// (sleeps, message latencies, timeouts) advance a shared virtual clock
+// instead of the wall clock. A simulation therefore executes in
+// microseconds of real time yet reports the sub-second protocol
+// latencies the modeled system would exhibit.
+//
+// # Actor model
+//
+// Every goroutine that participates in a simulation must be spawned
+// through Simulation.Go (or be the main function passed to Run). The
+// kernel tracks how many actors are runnable; when all of them are
+// parked — sleeping or waiting on a Gate — the controller advances the
+// clock to the earliest pending event and wakes its owners. If all
+// actors are parked and no event is pending, the simulation is
+// deadlocked and Run returns an error naming the blocked actors.
+//
+// # Discipline
+//
+// Actors must communicate only through sim-aware primitives (Sleep,
+// Gate, and anything layered on them such as netsim mailboxes). An
+// actor must never park while holding a lock that the waking actor
+// needs. Callbacks scheduled with At run on the controller goroutine
+// and must not block.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrDeadlock is wrapped by the error Run returns when every actor is
+// parked and no timer event is pending.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// ErrDeadline is wrapped by the error Run returns when virtual time
+// passes the cap set with SetDeadline — the runaway-simulation guard.
+var ErrDeadline = errors.New("sim: virtual-time deadline exceeded")
+
+// Simulation owns a virtual clock and the set of actors advancing it.
+// The zero value is not usable; call New.
+type Simulation struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when running drops to zero or main finishes
+	now      time.Duration
+	running  int // actors currently runnable
+	actors   int // live actors (runnable or parked)
+	events   eventHeap
+	seq      uint64
+	parked   map[string]int // actor name -> count, for deadlock diagnostics
+	deadline time.Duration  // virtual-time cap; 0 = unlimited
+	mainSet  bool
+	mainEnd  bool
+	halted   bool
+
+	panicMu  sync.Mutex
+	panicked []string
+}
+
+// New returns an empty simulation at virtual time zero.
+func New() *Simulation {
+	s := &Simulation{parked: make(map[string]int)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetDeadline caps virtual time: Run returns ErrDeadline instead of
+// advancing past d. Zero (the default) means unlimited. Use it as a
+// guard against runaway scenarios (for example a periodic daemon
+// keeping a simulation alive when the condition under test never
+// occurs).
+func (s *Simulation) SetDeadline(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deadline = d
+}
+
+// Now reports the current virtual time as an offset from the start of
+// the simulation. It is safe to call from any goroutine.
+func (s *Simulation) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Go spawns fn as a new actor. The name is used in deadlock
+// diagnostics only. Go may be called before Run or from any actor.
+func (s *Simulation) Go(name string, fn func()) {
+	s.mu.Lock()
+	s.actors++
+	s.running++
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.panicMu.Lock()
+				s.panicked = append(s.panicked, fmt.Sprintf("%s: %v", name, r))
+				s.panicMu.Unlock()
+			}
+			s.mu.Lock()
+			s.actors--
+			s.running--
+			if s.running == 0 {
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		}()
+		fn()
+	}()
+}
+
+// Sleep parks the calling actor for d of virtual time. A non-positive
+// duration returns immediately. Sleep must only be called from an
+// actor goroutine.
+func (s *Simulation) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.pushLocked(s.now+d, ch, nil)
+	s.parkLocked("sleep")
+	s.mu.Unlock()
+	<-ch
+	s.unparkNote("sleep")
+}
+
+// At schedules fn to run at virtual time t (an offset from simulation
+// start, clamped to the present). fn executes on the controller
+// goroutine and must not block; it may spawn actors, signal gates, and
+// schedule further callbacks.
+func (s *Simulation) At(t time.Duration, fn func()) {
+	s.mu.Lock()
+	if t < s.now {
+		t = s.now
+	}
+	s.pushLocked(t, nil, fn)
+	s.mu.Unlock()
+}
+
+// After schedules fn to run d of virtual time from now. See At.
+func (s *Simulation) After(d time.Duration, fn func()) {
+	s.mu.Lock()
+	t := s.now + d
+	if d < 0 {
+		t = s.now
+	}
+	s.pushLocked(t, nil, fn)
+	s.mu.Unlock()
+}
+
+// Run executes main as the root actor and drives the clock until main
+// returns. Other actors may still be parked when Run returns; closing
+// their communication primitives (for example netsim mailboxes) lets
+// them exit. Run returns an error if the simulation deadlocks or if
+// any actor panicked.
+func (s *Simulation) Run(main func()) error {
+	s.mu.Lock()
+	if s.mainSet {
+		s.mu.Unlock()
+		return errors.New("sim: Run called twice")
+	}
+	s.mainSet = true
+	s.mu.Unlock()
+
+	s.Go("main", func() {
+		defer func() {
+			s.mu.Lock()
+			s.mainEnd = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}()
+		main()
+	})
+
+	for {
+		s.mu.Lock()
+		for s.running > 0 && !s.mainEnd {
+			s.cond.Wait()
+		}
+		if s.mainEnd {
+			s.halted = true
+			s.mu.Unlock()
+			return s.panicErr()
+		}
+		if len(s.events) == 0 {
+			blocked := s.blockedLocked()
+			s.halted = true
+			s.mu.Unlock()
+			return fmt.Errorf("%w at %v: parked actors: %s", ErrDeadlock, s.now, blocked)
+		}
+		// Advance to the earliest event time and release every event
+		// due at that instant. Each released event counts as runnable
+		// before the lock drops so the controller cannot advance past
+		// a wake that has not landed yet.
+		t := s.events[0].at
+		if s.deadline > 0 && t > s.deadline {
+			s.halted = true
+			s.mu.Unlock()
+			return fmt.Errorf("%w: next event at %v, cap %v", ErrDeadline, t, s.deadline)
+		}
+		var batch []event
+		for len(s.events) > 0 && s.events[0].at == t {
+			batch = append(batch, s.popLocked())
+		}
+		s.now = t
+		s.running += len(batch)
+		s.mu.Unlock()
+
+		for _, ev := range batch {
+			if ev.wake != nil {
+				close(ev.wake) // ownership of the running slot passes to the woken actor
+				continue
+			}
+			ev.fn()
+			s.mu.Lock()
+			s.running--
+			if s.running == 0 {
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Halted reports whether Run has returned.
+func (s *Simulation) Halted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.halted
+}
+
+func (s *Simulation) panicErr() error {
+	s.panicMu.Lock()
+	defer s.panicMu.Unlock()
+	if len(s.panicked) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sim: actor panics: %s", strings.Join(s.panicked, "; "))
+}
+
+// parkLocked marks the calling actor idle. Callers hold s.mu.
+func (s *Simulation) parkLocked(why string) {
+	s.running--
+	s.parked[why]++
+	if s.running == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// unparkNote clears the diagnostic note left by parkLocked. The
+// running count itself was already transferred by the waker.
+func (s *Simulation) unparkNote(why string) {
+	s.mu.Lock()
+	s.parked[why]--
+	if s.parked[why] == 0 {
+		delete(s.parked, why)
+	}
+	s.mu.Unlock()
+}
+
+// markRunnable transfers one running slot to an actor about to be
+// woken by a Gate signal. Callers must not hold s.mu.
+func (s *Simulation) markRunnable() {
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+}
+
+func (s *Simulation) blockedLocked() string {
+	var parts []string
+	for why, n := range s.parked {
+		parts = append(parts, fmt.Sprintf("%s×%d", why, n))
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (s *Simulation) pushLocked(at time.Duration, wake chan struct{}, fn func()) {
+	s.seq++
+	s.events.push(event{at: at, seq: s.seq, wake: wake, fn: fn})
+	// A sleeping controller only re-checks after running drops to
+	// zero; new events need no extra signal because only running
+	// actors (or controller callbacks) create them.
+}
+
+func (s *Simulation) popLocked() event {
+	return s.events.pop()
+}

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := New()
+	var at time.Duration
+	start := time.Now()
+	err := s.Run(func() {
+		s.Sleep(3 * time.Second)
+		at = s.Now()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 3*time.Second {
+		t.Fatalf("virtual now = %v, want 3s", at)
+	}
+	if real := time.Since(start); real > 2*time.Second {
+		t.Fatalf("virtual sleep took %v of wall time", real)
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		s.Sleep(0)
+		s.Sleep(-time.Second)
+		if got := s.Now(); got != 0 {
+			t.Errorf("now = %v after zero sleeps, want 0", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestParallelSleepersOverlap(t *testing.T) {
+	s := New()
+	var done [3]time.Duration
+	err := s.Run(func() {
+		var wg sync.WaitGroup
+		gate := s.NewGate("join")
+		var mu sync.Mutex
+		remaining := 3
+		wg.Add(3)
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Go("sleeper", func() {
+				defer wg.Done()
+				s.Sleep(time.Duration(i+1) * time.Second)
+				done[i] = s.Now()
+				mu.Lock()
+				remaining--
+				mu.Unlock()
+				gate.Broadcast()
+			})
+		}
+		mu.Lock()
+		for remaining > 0 {
+			gate.Wait(&mu)
+		}
+		mu.Unlock()
+		wg.Wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if done[i] != want {
+			t.Errorf("sleeper %d finished at %v, want %v", i, done[i], want)
+		}
+	}
+}
+
+func TestSequentialSleepsAccumulate(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		for i := 0; i < 10; i++ {
+			s.Sleep(100 * time.Millisecond)
+		}
+		if got := s.Now(); got != time.Second {
+			t.Errorf("now = %v, want 1s", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAtCallbackRunsAtScheduledTime(t *testing.T) {
+	s := New()
+	var fired time.Duration = -1
+	err := s.Run(func() {
+		s.At(500*time.Millisecond, func() { fired = s.Now() })
+		s.Sleep(time.Second)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 500*time.Millisecond {
+		t.Fatalf("callback fired at %v, want 500ms", fired)
+	}
+}
+
+func TestAtInThePastClampsToNow(t *testing.T) {
+	s := New()
+	var fired time.Duration = -1
+	err := s.Run(func() {
+		s.Sleep(time.Second)
+		s.At(200*time.Millisecond, func() { fired = s.Now() })
+		s.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != time.Second {
+		t.Fatalf("callback fired at %v, want 1s (clamped)", fired)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired time.Duration = -1
+	err := s.Run(func() {
+		s.Sleep(time.Second)
+		s.After(250*time.Millisecond, func() { fired = s.Now() })
+		s.Sleep(time.Second)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1250*time.Millisecond {
+		t.Fatalf("callback fired at %v, want 1.25s", fired)
+	}
+}
+
+func TestCallbackCanSpawnActor(t *testing.T) {
+	s := New()
+	var spawned time.Duration = -1
+	gate := s.NewGate("done")
+	var mu sync.Mutex
+	ok := false
+	err := s.Run(func() {
+		s.At(time.Second, func() {
+			s.Go("child", func() {
+				s.Sleep(time.Second)
+				spawned = s.Now()
+				mu.Lock()
+				ok = true
+				mu.Unlock()
+				gate.Signal()
+			})
+		})
+		mu.Lock()
+		for !ok {
+			gate.Wait(&mu)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if spawned != 2*time.Second {
+		t.Fatalf("child finished at %v, want 2s", spawned)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		gate := s.NewGate("never")
+		var mu sync.Mutex
+		mu.Lock()
+		gate.Wait(&mu) // nobody will ever signal
+		mu.Unlock()
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if !strings.Contains(err.Error(), "never") {
+		t.Fatalf("deadlock error should name the gate: %v", err)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	s := New()
+	if err := s.Run(func() {}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := s.Run(func() {}); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestActorPanicIsReported(t *testing.T) {
+	s := New()
+	err := s.Run(func() {
+		s.Go("bomb", func() { panic("boom") })
+		s.Sleep(time.Millisecond)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic report", err)
+	}
+}
+
+func TestHalted(t *testing.T) {
+	s := New()
+	if s.Halted() {
+		t.Fatal("fresh simulation reports halted")
+	}
+	if err := s.Run(func() {}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !s.Halted() {
+		t.Fatal("finished simulation should report halted")
+	}
+}
+
+func TestManyActorsDeterministicFinish(t *testing.T) {
+	s := New()
+	const n = 100
+	finish := make([]time.Duration, n)
+	err := s.Run(func() {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		gate := s.NewGate("all")
+		var mu sync.Mutex
+		left := n
+		for i := 0; i < n; i++ {
+			i := i
+			s.Go("worker", func() {
+				defer wg.Done()
+				s.Sleep(time.Duration(i%10+1) * time.Millisecond)
+				s.Sleep(time.Duration(i%7+1) * time.Millisecond)
+				finish[i] = s.Now()
+				mu.Lock()
+				left--
+				mu.Unlock()
+				gate.Broadcast()
+			})
+		}
+		mu.Lock()
+		for left > 0 {
+			gate.Wait(&mu)
+		}
+		mu.Unlock()
+		wg.Wait()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want := time.Duration(i%10+1)*time.Millisecond + time.Duration(i%7+1)*time.Millisecond
+		if finish[i] != want {
+			t.Errorf("worker %d finished at %v, want %v", i, finish[i], want)
+		}
+	}
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	times := []time.Duration{5, 1, 3, 2, 4, 1, 5, 0}
+	for i, at := range times {
+		h.push(event{at: at, seq: uint64(i)})
+	}
+	var got []time.Duration
+	var seqs []uint64
+	for len(h) > 0 {
+		ev := h.pop()
+		got = append(got, ev.at)
+		seqs = append(seqs, ev.seq)
+	}
+	want := []time.Duration{0, 1, 1, 2, 3, 4, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	// FIFO among equal timestamps: seq 1 before seq 5, seq 0 before seq 6.
+	if seqs[1] != 1 || seqs[2] != 5 {
+		t.Errorf("ties not FIFO: seqs=%v", seqs)
+	}
+	if seqs[6] != 0 || seqs[7] != 6 {
+		t.Errorf("ties not FIFO at tail: seqs=%v", seqs)
+	}
+}

@@ -1,0 +1,107 @@
+package workload_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/pbs"
+	"repro/internal/workload"
+)
+
+func phasedParams() cluster.Params {
+	p := cluster.Default()
+	p.ComputeNodes = 1
+	p.Accelerators = 4
+	p.Maui.CycleInterval = 50 * time.Millisecond
+	p.Maui.CycleOverhead = 5 * time.Millisecond
+	p.Maui.PerJobCost = 2 * time.Millisecond
+	p.Maui.DynPerReqCost = 2 * time.Millisecond
+	p.MPI.ProcStartup = 10 * time.Millisecond
+	p.DAC.DaemonLaunch = 5 * time.Millisecond
+	p.DAC.DaemonInit = 5 * time.Millisecond
+	return p
+}
+
+func TestPhasedAppGrowsAndShrinks(t *testing.T) {
+	var res workload.PhasedResult
+	var got bool
+	var mu sync.Mutex
+	err := cluster.Run(phasedParams(), func(c *cluster.Cluster, client *pbs.Client) {
+		phases := []workload.Phase{
+			{ExtraACs: 0, Compute: 30 * time.Millisecond},
+			{ExtraACs: 2, Compute: 50 * time.Millisecond, Stretch: 20 * time.Millisecond},
+			{ExtraACs: 0, Compute: 30 * time.Millisecond},
+		}
+		id, err := client.Submit(workload.DynamicSpec(c.Sim, "phased", 1, phases, func(r workload.PhasedResult) {
+			mu.Lock()
+			res = r
+			got = true
+			mu.Unlock()
+		}))
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		info, err := client.Wait(id)
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+			return
+		}
+		if len(info.DynRecords) != 1 || info.DynRecords[0].State != pbs.DynGranted {
+			t.Errorf("records = %+v", info.DynRecords)
+		}
+		if info.DynRecords[0].FreedAt == 0 {
+			t.Error("phase did not free its dynamic set")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !got {
+		t.Fatal("result callback never fired")
+	}
+	if res.Rejections != 0 {
+		t.Errorf("rejections = %d", res.Rejections)
+	}
+	if res.Elapsed < 110*time.Millisecond {
+		t.Errorf("elapsed = %v, below compute sum", res.Elapsed)
+	}
+}
+
+func TestPhasedAppStretchesOnRejection(t *testing.T) {
+	p := phasedParams()
+	p.Accelerators = 1 // the static accelerator only; growth impossible
+	var res workload.PhasedResult
+	var mu sync.Mutex
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		phases := []workload.Phase{
+			{ExtraACs: 2, Compute: 40 * time.Millisecond, Stretch: 30 * time.Millisecond},
+		}
+		id, err := client.Submit(workload.DynamicSpec(c.Sim, "starved", 1, phases, func(r workload.PhasedResult) {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}))
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		client.Wait(id)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if res.Rejections != 1 {
+		t.Fatalf("rejections = %d, want 1", res.Rejections)
+	}
+	// 40ms base + 2 missing * 30ms stretch = 100ms of compute.
+	if res.Elapsed < 100*time.Millisecond {
+		t.Errorf("elapsed = %v; rejection did not stretch the phase", res.Elapsed)
+	}
+}

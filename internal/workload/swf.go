@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSWF reads a trace in the Standard Workload Format of the
+// Parallel Workloads Archive (one job per line, 18 whitespace-
+// separated fields, ';' comment lines) and converts it into trace
+// entries submittable to the simulated cluster. Processor counts are
+// folded onto nodes of coresPerNode cores; missing fields (-1) fall
+// back to sensible defaults. This lets the batch system be driven by
+// real production traces in addition to synthetic workloads.
+func ParseSWF(r io.Reader, coresPerNode int) ([]TraceEntry, error) {
+	if coresPerNode <= 0 {
+		return nil, fmt.Errorf("workload: ParseSWF with coresPerNode %d", coresPerNode)
+	}
+	var out []TraceEntry
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 11 {
+			return nil, fmt.Errorf("workload: swf line %d: %d fields, want >= 11", lineNo, len(fields))
+		}
+		get := func(i int) (int64, error) {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("workload: swf line %d field %d: %w", lineNo, i+1, err)
+			}
+			return v, nil
+		}
+		jobNum, err := get(0)
+		if err != nil {
+			return nil, err
+		}
+		submit, err := get(1)
+		if err != nil {
+			return nil, err
+		}
+		runSec, err := get(3)
+		if err != nil {
+			return nil, err
+		}
+		procs, err := get(4)
+		if err != nil {
+			return nil, err
+		}
+		if procs <= 0 {
+			if procs, err = get(7); err != nil { // requested processors
+				return nil, err
+			}
+		}
+		reqSec, err := get(8)
+		if err != nil {
+			return nil, err
+		}
+		uid := int64(-1)
+		if len(fields) > 11 {
+			uid, _ = strconv.ParseInt(fields[11], 10, 64)
+		}
+
+		if runSec < 0 {
+			runSec = 0
+		}
+		if procs <= 0 {
+			procs = 1
+		}
+		if reqSec <= 0 {
+			reqSec = runSec
+		}
+		nodes := int((procs + int64(coresPerNode) - 1) / int64(coresPerNode))
+		if nodes < 1 {
+			nodes = 1
+		}
+		ppn := int((procs + int64(nodes) - 1) / int64(nodes))
+		owner := "unknown"
+		if uid >= 0 {
+			owner = fmt.Sprintf("user%d", uid)
+		}
+		out = append(out, TraceEntry{
+			At:       time.Duration(submit) * time.Second,
+			Name:     fmt.Sprintf("swf-%d", jobNum),
+			Owner:    owner,
+			Nodes:    nodes,
+			PPN:      ppn,
+			Runtime:  time.Duration(runSec) * time.Second,
+			Walltime: time.Duration(reqSec) * time.Second,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: swf scan: %w", err)
+	}
+	return out, nil
+}
+
+// ScaleTrace compresses a trace's time axis by factor (e.g. 0.001
+// turns hours of production trace into seconds of simulation),
+// scaling submit offsets, runtimes, and walltime estimates alike.
+func ScaleTrace(entries []TraceEntry, factor float64) []TraceEntry {
+	out := make([]TraceEntry, len(entries))
+	for i, e := range entries {
+		e.At = time.Duration(float64(e.At) * factor)
+		e.Runtime = time.Duration(float64(e.Runtime) * factor)
+		e.Walltime = time.Duration(float64(e.Walltime) * factor)
+		out[i] = e
+	}
+	return out
+}

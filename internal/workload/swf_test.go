@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSWF = `; SWF header comment
+; MaxNodes: 8
+  1    0   5   100   16  -1 -1   16   200 -1 1  3 1 -1 1 1 -1 -1
+  2   60  -1    30    4  -1 -1    4    -1 -1 1  7 1 -1 1 1 -1 -1
+  3  120   0    -1   -1  -1 -1    2    50 -1 0 -1 1 -1 1 1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	entries, err := ParseSWF(strings.NewReader(sampleSWF), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+
+	e := entries[0]
+	if e.Name != "swf-1" || e.At != 0 || e.Runtime != 100*time.Second || e.Walltime != 200*time.Second {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	// 16 processors on 8-core nodes → 2 nodes × 8 cores.
+	if e.Nodes != 2 || e.PPN != 8 {
+		t.Errorf("entry 0 shape = %d×%d", e.Nodes, e.PPN)
+	}
+	if e.Owner != "user3" {
+		t.Errorf("entry 0 owner = %q", e.Owner)
+	}
+
+	e = entries[1]
+	if e.At != 60*time.Second || e.Nodes != 1 || e.PPN != 4 {
+		t.Errorf("entry 1 = %+v", e)
+	}
+	// Missing requested time falls back to runtime.
+	if e.Walltime != 30*time.Second {
+		t.Errorf("entry 1 walltime = %v", e.Walltime)
+	}
+
+	e = entries[2]
+	// Missing allocated processors falls back to requested (2);
+	// missing runtime clamps to zero; missing uid → unknown.
+	if e.Nodes != 1 || e.PPN != 2 || e.Runtime != 0 || e.Owner != "unknown" {
+		t.Errorf("entry 2 = %+v", e)
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3"), 8); err == nil {
+		t.Error("short line should fail")
+	}
+	if _, err := ParseSWF(strings.NewReader("a b c d e f g h i j k"), 8); err == nil {
+		t.Error("non-numeric fields should fail")
+	}
+	if _, err := ParseSWF(strings.NewReader(""), 0); err == nil {
+		t.Error("bad coresPerNode should fail")
+	}
+	if got, err := ParseSWF(strings.NewReader("; only comments\n\n"), 8); err != nil || len(got) != 0 {
+		t.Errorf("comment-only trace: %v %v", got, err)
+	}
+}
+
+func TestScaleTrace(t *testing.T) {
+	in := []TraceEntry{{At: 10 * time.Second, Runtime: 100 * time.Second, Walltime: 200 * time.Second}}
+	out := ScaleTrace(in, 0.01)
+	if out[0].At != 100*time.Millisecond || out[0].Runtime != time.Second || out[0].Walltime != 2*time.Second {
+		t.Fatalf("scaled = %+v", out[0])
+	}
+	// Original untouched.
+	if in[0].At != 10*time.Second {
+		t.Fatal("ScaleTrace mutated its input")
+	}
+}
+
+func TestSWFTraceReplays(t *testing.T) {
+	entries, err := ParseSWF(strings.NewReader(sampleSWF), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := ScaleTrace(entries, 0.001) // milliseconds instead of seconds
+	for _, e := range scaled {
+		if e.Runtime > time.Second {
+			t.Fatalf("scaling failed: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// TraceEntry is one job of a recorded workload trace. Traces are the
+// serializable form of a generated workload: scripts cannot be
+// serialized, so replay reconstructs sleep scripts from Runtime.
+type TraceEntry struct {
+	At       time.Duration `json:"at"` // submission offset from trace start
+	Name     string        `json:"name"`
+	Owner    string        `json:"owner"`
+	Nodes    int           `json:"nodes"`
+	PPN      int           `json:"ppn"`
+	ACPN     int           `json:"acpn"`
+	Runtime  time.Duration `json:"runtime"`
+	Walltime time.Duration `json:"walltime"`
+}
+
+// Spec reconstructs a submittable job from the entry.
+func (e TraceEntry) Spec(s *sim.Simulation) pbs.JobSpec {
+	return pbs.JobSpec{
+		Name:     e.Name,
+		Owner:    e.Owner,
+		Nodes:    e.Nodes,
+		PPN:      e.PPN,
+		ACPN:     e.ACPN,
+		Walltime: e.Walltime,
+		Script:   Sleeper(s, e.Runtime),
+	}
+}
+
+// Record draws n jobs from the generator into a trace.
+func Record(g *Generator, n int) []TraceEntry {
+	var at time.Duration
+	out := make([]TraceEntry, 0, n)
+	for i := 0; i < n; i++ {
+		spec, gap := g.Next()
+		at += gap
+		// Recover the runtime from the class parameters is not
+		// possible post hoc; regenerate deterministic runtimes by
+		// storing walltime as the estimate and using it as runtime
+		// upper bound. To keep the trace faithful, Generator exposes
+		// the drawn runtime through the spec's walltime when the
+		// class declared none; here we persist walltime and
+		// approximate runtime as 60% of it.
+		out = append(out, TraceEntry{
+			At:       at,
+			Name:     spec.Name,
+			Owner:    spec.Owner,
+			Nodes:    spec.Nodes,
+			PPN:      spec.PPN,
+			ACPN:     spec.ACPN,
+			Runtime:  time.Duration(float64(spec.Walltime) * 0.6),
+			Walltime: spec.Walltime,
+		})
+	}
+	return out
+}
+
+// Save writes a trace as JSON lines.
+func Save(w io.Writer, entries []TraceEntry) error {
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("workload: save trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a JSON-lines trace.
+func Load(r io.Reader) ([]TraceEntry, error) {
+	dec := json.NewDecoder(r)
+	var out []TraceEntry
+	for dec.More() {
+		var e TraceEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("workload: load trace: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Replay submits every trace entry at its offset and returns the job
+// ids in submission order. It blocks until all entries are submitted
+// (not until they complete).
+func Replay(s *sim.Simulation, client *pbs.Client, entries []TraceEntry) ([]string, error) {
+	var ids []string
+	start := s.Now()
+	for _, e := range entries {
+		if wait := e.At - (s.Now() - start); wait > 0 {
+			s.Sleep(wait)
+		}
+		id, err := client.Submit(e.Spec(s))
+		if err != nil {
+			return ids, fmt.Errorf("workload: replay submit %q: %w", e.Name, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -1,0 +1,218 @@
+// Package workload generates synthetic job streams for the
+// experiments: the qsub bursts loading the scheduler in Figure 8,
+// mixed batch workloads for the throughput ablations, and
+// phase-structured DAC applications whose accelerator demand changes
+// at runtime — the usage scenario motivating the paper's dynamic
+// allocation (Section I).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dac"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// Sleeper returns a job script that simply holds its nodes for d.
+func Sleeper(s *sim.Simulation, d time.Duration) pbs.Script {
+	return func(env *pbs.JobEnv) { s.Sleep(d) }
+}
+
+// Backlog returns n jobs that can never be scheduled on a cluster
+// with fewer than nodes compute nodes; they keep the Maui queue busy
+// without interfering with the DAC job's resources, as required by
+// the Figure 8 setup ("none of the 16 or 20 jobs interfere with the
+// compute node or the accelerator node").
+func Backlog(s *sim.Simulation, n, nodes int) []pbs.JobSpec {
+	out := make([]pbs.JobSpec, n)
+	for i := range out {
+		out[i] = pbs.JobSpec{
+			Name:     fmt.Sprintf("load%d", i),
+			Owner:    "load",
+			Nodes:    nodes,
+			PPN:      1,
+			Walltime: time.Minute,
+			Script:   Sleeper(s, time.Millisecond),
+		}
+	}
+	return out
+}
+
+// Class describes one job class in a mixed workload.
+type Class struct {
+	Name     string
+	Weight   int // relative frequency
+	Nodes    int
+	PPN      int
+	ACPN     int
+	MinRun   time.Duration
+	MaxRun   time.Duration
+	Walltime time.Duration // user estimate; 0 means MaxRun
+}
+
+// Generator draws jobs from a weighted mix of classes with
+// exponential interarrival times.
+type Generator struct {
+	sim     *sim.Simulation
+	rng     *sim.RNG
+	classes []Class
+	total   int
+	// MeanInterarrival is the mean spacing between submissions.
+	MeanInterarrival time.Duration
+	seq              int
+}
+
+// NewGenerator creates a generator over the given classes.
+func NewGenerator(s *sim.Simulation, seed uint64, mean time.Duration, classes []Class) *Generator {
+	total := 0
+	for _, c := range classes {
+		total += c.Weight
+	}
+	return &Generator{sim: s, rng: sim.NewRNG(seed), classes: classes, total: total, MeanInterarrival: mean}
+}
+
+// DefaultClasses is a small mixed workload: serial jobs, node-wide
+// jobs, and DAC jobs with static accelerators.
+func DefaultClasses() []Class {
+	return []Class{
+		{Name: "serial", Weight: 4, Nodes: 1, PPN: 1, MinRun: 50 * time.Millisecond, MaxRun: 400 * time.Millisecond},
+		{Name: "node", Weight: 2, Nodes: 1, PPN: 8, MinRun: 100 * time.Millisecond, MaxRun: 600 * time.Millisecond},
+		{Name: "dacjob", Weight: 1, Nodes: 1, PPN: 2, ACPN: 1, MinRun: 100 * time.Millisecond, MaxRun: 500 * time.Millisecond},
+	}
+}
+
+// Next draws the next job and the interarrival gap preceding it.
+func (g *Generator) Next() (pbs.JobSpec, time.Duration) {
+	pick := g.rng.Intn(g.total)
+	var cls Class
+	for _, c := range g.classes {
+		if pick < c.Weight {
+			cls = c
+			break
+		}
+		pick -= c.Weight
+	}
+	run := cls.MinRun
+	if cls.MaxRun > cls.MinRun {
+		run += time.Duration(g.rng.Float64() * float64(cls.MaxRun-cls.MinRun))
+	}
+	wall := cls.Walltime
+	if wall == 0 {
+		wall = cls.MaxRun
+	}
+	g.seq++
+	spec := pbs.JobSpec{
+		Name:     fmt.Sprintf("%s-%d", cls.Name, g.seq),
+		Owner:    cls.Name,
+		Nodes:    cls.Nodes,
+		PPN:      cls.PPN,
+		ACPN:     cls.ACPN,
+		Walltime: wall,
+		Script:   Sleeper(g.sim, run),
+	}
+	gap := time.Duration(g.rng.Exp(g.MeanInterarrival.Seconds()) * float64(time.Second))
+	return spec, gap
+}
+
+// Phase is one computational phase of an evolving DAC application.
+type Phase struct {
+	// ExtraACs is how many accelerators beyond the static set the
+	// phase wants; the application issues AC_Get at the phase start
+	// and AC_Free at its end. Zero runs on the static set only.
+	ExtraACs int
+	// Compute is the phase's duration on the granted set; if fewer
+	// accelerators were granted (rejection), the phase stretches by
+	// Stretch per missing accelerator.
+	Compute time.Duration
+	// Stretch is the slowdown per missing accelerator.
+	Stretch time.Duration
+}
+
+// PhasedResult summarizes a phased application's run.
+type PhasedResult struct {
+	Rejections int
+	Elapsed    time.Duration
+}
+
+// PhasedApp builds a DAC job script that walks through the phases,
+// growing and shrinking its accelerator set at runtime. The result
+// callback (optional) receives the summary before the job exits.
+func PhasedApp(s *sim.Simulation, phases []Phase, result func(PhasedResult)) pbs.Script {
+	return func(env *pbs.JobEnv) {
+		start := s.Now()
+		var res PhasedResult
+		ac, _, err := dac.Init(env)
+		if err != nil {
+			return
+		}
+		defer ac.Finalize()
+		for _, ph := range phases {
+			compute := ph.Compute
+			var clientID int
+			granted := 0
+			if ph.ExtraACs > 0 {
+				id, hs, err := ac.Get(ph.ExtraACs)
+				if err == nil {
+					clientID = id
+					granted = len(hs)
+				} else {
+					res.Rejections++
+				}
+			}
+			if missing := ph.ExtraACs - granted; missing > 0 {
+				compute += time.Duration(missing) * ph.Stretch
+			}
+			s.Sleep(compute)
+			if granted > 0 {
+				_ = ac.Free(clientID)
+			}
+		}
+		res.Elapsed = s.Now() - start
+		if result != nil {
+			result(res)
+		}
+	}
+}
+
+// StaticPeakSpec converts a phased application into its static-only
+// equivalent: it must reserve its peak accelerator demand for the
+// whole runtime (the baseline the dynamic batch system improves on).
+func StaticPeakSpec(s *sim.Simulation, name string, staticACs int, phases []Phase) pbs.JobSpec {
+	peak := 0
+	var total time.Duration
+	for _, ph := range phases {
+		if ph.ExtraACs > peak {
+			peak = ph.ExtraACs
+		}
+		total += ph.Compute
+	}
+	return pbs.JobSpec{
+		Name:     name,
+		Owner:    "static",
+		Nodes:    1,
+		PPN:      2,
+		ACPN:     staticACs + peak,
+		Walltime: total + 100*time.Millisecond,
+		Script:   Sleeper(s, total),
+	}
+}
+
+// DynamicSpec wraps a phased application into a job spec with the
+// given static accelerator count.
+func DynamicSpec(s *sim.Simulation, name string, staticACs int, phases []Phase, result func(PhasedResult)) pbs.JobSpec {
+	var total time.Duration
+	for _, ph := range phases {
+		total += ph.Compute
+	}
+	return pbs.JobSpec{
+		Name:     name,
+		Owner:    "dynamic",
+		Nodes:    1,
+		PPN:      2,
+		ACPN:     staticACs,
+		Walltime: 2*total + time.Second,
+		Script:   PhasedApp(s, phases, result),
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+func TestBacklogShape(t *testing.T) {
+	s := sim.New()
+	jobs := Backlog(s, 5, 3)
+	if len(jobs) != 5 {
+		t.Fatalf("len = %d", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Nodes != 3 || j.Owner != "load" {
+			t.Errorf("job %d = %+v", i, j)
+		}
+		if j.Script == nil {
+			t.Errorf("job %d has no script", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	s := sim.New()
+	g1 := NewGenerator(s, 7, 50*time.Millisecond, DefaultClasses())
+	g2 := NewGenerator(s, 7, 50*time.Millisecond, DefaultClasses())
+	for i := 0; i < 50; i++ {
+		a, ga := g1.Next()
+		b, gb := g2.Next()
+		if a.Name != b.Name || a.Nodes != b.Nodes || a.PPN != b.PPN || a.ACPN != b.ACPN || ga != gb {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorDrawsAllClasses(t *testing.T) {
+	s := sim.New()
+	g := NewGenerator(s, 3, 50*time.Millisecond, DefaultClasses())
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		spec, gap := g.Next()
+		if gap < 0 {
+			t.Fatalf("negative gap %v", gap)
+		}
+		cls := strings.SplitN(spec.Name, "-", 2)[0]
+		seen[cls] = true
+		if spec.Walltime <= 0 {
+			t.Fatalf("job %s without walltime", spec.Name)
+		}
+	}
+	for _, c := range DefaultClasses() {
+		if !seen[c.Name] {
+			t.Errorf("class %s never drawn", c.Name)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	s := sim.New()
+	g := NewGenerator(s, 11, 40*time.Millisecond, DefaultClasses())
+	entries := Record(g, 20)
+	if len(entries) != 20 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].At < entries[i-1].At {
+			t.Fatalf("trace times not monotone at %d", i)
+		}
+	}
+	var b strings.Builder
+	if err := Save(&b, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("loaded %d, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestLoadBadJSON(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestTraceEntrySpec(t *testing.T) {
+	s := sim.New()
+	e := TraceEntry{Name: "j", Owner: "o", Nodes: 2, PPN: 4, ACPN: 1, Runtime: time.Second, Walltime: 2 * time.Second}
+	spec := e.Spec(s)
+	if spec.Name != "j" || spec.Nodes != 2 || spec.PPN != 4 || spec.ACPN != 1 || spec.Walltime != 2*time.Second {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Script == nil {
+		t.Fatal("spec without script")
+	}
+}
+
+func TestStaticPeakSpec(t *testing.T) {
+	s := sim.New()
+	phases := []Phase{
+		{ExtraACs: 0, Compute: 100 * time.Millisecond},
+		{ExtraACs: 3, Compute: 200 * time.Millisecond},
+		{ExtraACs: 1, Compute: 100 * time.Millisecond},
+	}
+	spec := StaticPeakSpec(s, "x", 1, phases)
+	if spec.ACPN != 4 { // 1 static + peak 3
+		t.Fatalf("ACPN = %d, want 4", spec.ACPN)
+	}
+	if spec.Walltime < 400*time.Millisecond {
+		t.Fatalf("walltime = %v", spec.Walltime)
+	}
+}
+
+func TestSleeperHoldsDuration(t *testing.T) {
+	s := sim.New()
+	err := s.Run(func() {
+		start := s.Now()
+		Sleeper(s, 250*time.Millisecond)(&pbs.JobEnv{})
+		if got := s.Now() - start; got != 250*time.Millisecond {
+			t.Errorf("sleeper held %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package repro is the public facade of this reproduction of
+// "A Dynamic Resource Management System for Network-Attached
+// Accelerator Clusters" (Prabhakaran, Iqbal, Rinke, Wolf — ICPP
+// 2013).
+//
+// It re-exports the library surface a downstream user needs:
+//
+//   - the simulated DAC testbed (cluster assembly and parameters),
+//   - the extended TORQUE/Maui batch system (job submission, the
+//     pbs_dynget/pbs_dynfree dynamic allocation calls),
+//   - the DAC resource-management and computation libraries
+//     (AC_Init, AC_Get, AC_Free, AC_Finalize, memory copies, kernel
+//     launches on simulated network-attached GPUs),
+//   - and the experiment drivers regenerating every figure of the
+//     paper's evaluation.
+//
+// See examples/quickstart for a complete program.
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dac"
+	"repro/internal/gpusim"
+	"repro/internal/maui"
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Cluster assembly.
+type (
+	// Params configures the simulated testbed's shape and cost model.
+	Params = cluster.Params
+	// Cluster is a wired testbed (fabric, server, moms, scheduler,
+	// devices).
+	Cluster = cluster.Cluster
+)
+
+// DefaultParams returns the calibrated testbed configuration
+// matching the paper's evaluation platform.
+func DefaultParams() Params { return cluster.Default() }
+
+// NewCluster builds a testbed on a fresh simulation.
+func NewCluster(s *sim.Simulation, p Params) *Cluster { return cluster.New(s, p) }
+
+// RunCluster builds a simulation and cluster, runs fn with an IFL
+// client, and tears everything down.
+func RunCluster(p Params, fn func(c *Cluster, client *Client)) error {
+	return cluster.Run(p, fn)
+}
+
+// CNName and ACName name the testbed's hosts.
+var (
+	CNName = cluster.CNName
+	ACName = cluster.ACName
+)
+
+// Simulation kernel.
+type (
+	// Simulation is the virtual-time execution environment all
+	// cluster components run in.
+	Simulation = sim.Simulation
+)
+
+// NewSimulation creates an empty simulation at virtual time zero.
+func NewSimulation() *Simulation { return sim.New() }
+
+// Fabric is the simulated cluster interconnect (exposed through
+// Cluster.Net for failure injection via SetDown / SetHostDown).
+type Fabric = netsim.Network
+
+// NewIFLClient creates an Interface Library client with its own
+// fabric endpoint — what a job script uses for pbs_dynget /
+// pbs_dynfree calls outside the DAC library, including the malleable
+// DynGetNodes extension.
+func NewIFLClient(net *Fabric, name, serverEP string) *Client {
+	return pbs.NewClient(net, name, serverEP)
+}
+
+// Server is the pbs_server daemon, exposed for head-node failover
+// demonstrations (Checkpoint / Stop / Restore) and accounting
+// queries (Usage, ClusterUtilization, Energy).
+type Server = pbs.Server
+
+// NewServer creates a replacement pbs_server over the same fabric
+// (it takes over the well-known endpoint).
+func NewServer(net *Fabric, params pbs.ServerParams) *Server {
+	return pbs.NewServer(net, params)
+}
+
+// Batch system (extended TORQUE/Maui).
+type (
+	// JobSpec is a qsub request: nodes, cores, network-attached
+	// accelerators per node (acpn), walltime, and the job script.
+	JobSpec = pbs.JobSpec
+	// JobEnv is the execution environment handed to each compute
+	// node task.
+	JobEnv = pbs.JobEnv
+	// JobInfo is the qstat view of a job, including the dynamic
+	// request records used by the experiments.
+	JobInfo = pbs.JobInfo
+	// Client is the Interface Library (IFL) client: Submit, Stat,
+	// Wait, Delete, DynGet, DynFree.
+	Client = pbs.Client
+	// SchedulerParams configures the Maui-like scheduler policy.
+	SchedulerParams = maui.Params
+	// DynRecord decomposes one dynamic allocation at the server.
+	DynRecord = pbs.DynRecord
+	// JobState is the qstat lifecycle state.
+	JobState = pbs.JobState
+	// NodeUsage is the server's accounting view of one node.
+	NodeUsage = pbs.NodeUsage
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = pbs.JobQueued
+	JobRunning   = pbs.JobRunning
+	JobCompleted = pbs.JobCompleted
+	JobDeleted   = pbs.JobDeleted
+	JobFailed    = pbs.JobFailed
+)
+
+// DAC resource management and computation library.
+type (
+	// AC is the per-application handle of the resource-management
+	// library.
+	AC = dac.AC
+	// Accel is the unique handle of one allocated accelerator.
+	Accel = dac.Accel
+	// ACStats carries the library's timing decomposition (AC_Init
+	// waiting/connect, AC_Get batch/MPI).
+	ACStats = dac.Stats
+	// DevicePtr is a device memory handle.
+	DevicePtr = gpusim.Ptr
+	// KernelCtx gives registered kernels access to device memory.
+	KernelCtx = gpusim.KernelCtx
+	// KernelCost reports the work a kernel performed (roofline
+	// timing).
+	KernelCost = gpusim.Cost
+)
+
+// Init is AC_Init: connect to the statically allocated accelerators.
+func Init(env *JobEnv) (*AC, []*Accel, error) { return dac.Init(env) }
+
+// RegisterKernel installs a named device kernel (the analogue of a
+// compiled CUDA module available on every accelerator).
+var RegisterKernel = gpusim.RegisterKernel
+
+// EncodeFloat64s and DecodeFloat64s marshal numeric buffers for
+// device copies.
+var (
+	EncodeFloat64s = gpusim.EncodeFloat64s
+	DecodeFloat64s = gpusim.DecodeFloat64s
+)
+
+// Workload generation.
+type (
+	// WorkloadClass describes one job class of a synthetic mix.
+	WorkloadClass = workload.Class
+	// WorkloadGenerator draws jobs with exponential interarrivals.
+	WorkloadGenerator = workload.Generator
+	// Phase is one phase of an evolving DAC application.
+	Phase = workload.Phase
+	// TraceEntry is one job of a recorded workload trace.
+	TraceEntry = workload.TraceEntry
+)
+
+// Workload helpers.
+var (
+	NewWorkloadGenerator   = workload.NewGenerator
+	DefaultWorkloadClasses = workload.DefaultClasses
+	PhasedApp              = workload.PhasedApp
+	SaveTrace              = workload.Save
+	LoadTrace              = workload.Load
+	ReplayTrace            = workload.Replay
+	RecordTrace            = workload.Record
+	// ParseSWF imports a Standard Workload Format trace (Parallel
+	// Workloads Archive); ScaleTrace compresses its time axis.
+	ParseSWF   = workload.ParseSWF
+	ScaleTrace = workload.ScaleTrace
+)
+
+// ParseResourceRequest parses a qsub -l string (the paper's
+// "nodes=k:ppn=q:acpn=x") into a JobSpec; FormatResourceRequest is
+// its inverse.
+var (
+	ParseResourceRequest  = pbs.ParseResourceRequest
+	FormatResourceRequest = pbs.FormatResourceRequest
+)
+
+// Experiment drivers: one per figure of the paper's evaluation, plus
+// the ablations described in DESIGN.md.
+type (
+	Fig7aPoint = core.Fig7aPoint
+	Fig7bPoint = core.Fig7bPoint
+	Fig8Point  = core.Fig8Point
+	Fig9Point  = core.Fig9Point
+)
+
+// Experiment functions and table renderers.
+var (
+	Fig7a      = core.Fig7a
+	Fig7b      = core.Fig7b
+	Fig8       = core.Fig8
+	Fig9       = core.Fig9
+	Fig7aTable = core.Fig7aTable
+	Fig7bTable = core.Fig7bTable
+	Fig8Table  = core.Fig8Table
+	Fig9Table  = core.Fig9Table
+
+	AblationDynPriority          = core.AblationDynPriority
+	AblationCollectiveGet        = core.AblationCollectiveGet
+	AblationDynamicVsStatic      = core.AblationDynamicVsStatic
+	AblationBackfill             = core.AblationBackfill
+	AblationPartialAlloc         = core.AblationPartialAlloc
+	AblationDoubleBuffer         = core.AblationDoubleBuffer
+	AblationSchedulerPortability = core.AblationSchedulerPortability
+)

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Reproduce every figure and ablation of the paper's evaluation and
+# store the series under results/ (tables + CSV), then run the test
+# suite and the benchmark harness. Stdlib Go only; no network needed.
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+echo "==> unit, integration, and property tests"
+go test ./... -count=1 | tee results/test.txt
+
+echo "==> figures (10 trials, as in the paper)"
+go run ./cmd/dacsim -fig all -trials 10 | tee results/figures.txt
+for fig in 7a 7b 8 9; do
+    go run ./cmd/dacsim -fig "$fig" -trials 10 -csv > "results/fig$fig.csv"
+done
+
+echo "==> figures with ±10% seeded jitter (trial variance)"
+go run ./cmd/dacsim -fig all -trials 10 -jitter 0.1 > results/figures-jitter.txt
+
+echo "==> benchmark harness"
+go test -bench=. -benchmem -benchtime=1x -count=1 . | tee results/bench.txt
+
+echo "==> done; see results/"
