@@ -27,10 +27,17 @@ func main() {
 	maxACs := flag.Int("max", 6, "maximum accelerator count for figures 7(a) and 7(b)")
 	jitter := flag.Float64("jitter", 0, "fabric latency jitter fraction (e.g. 0.1); 0 keeps runs exactly deterministic")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every simulated run to this file")
+	showMetrics := flag.Bool("metrics", false, "print the tracer's metrics summary (span latencies, counters, gauges) after the figures")
 	flag.Parse()
 
 	params := repro.DefaultParams()
 	params.LatencyJitter = *jitter
+	var tracer *repro.Tracer
+	if *traceOut != "" || *showMetrics {
+		tracer = repro.NewTracer()
+		params.Tracer = tracer
+	}
 	emit := func(t *metrics.Table) {
 		var err error
 		if *csv {
@@ -178,6 +185,24 @@ func main() {
 		runAblations()
 	default:
 		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, ablations, all)", *fig)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("dacsim: %v", err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			log.Fatalf("dacsim: write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("dacsim: write trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dacsim: wrote %d trace events to %s\n", len(tracer.Events()), *traceOut)
+	}
+	if *showMetrics {
+		if err := tracer.WriteSummary(os.Stdout); err != nil {
+			log.Fatalf("dacsim: metrics summary: %v", err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "dacsim: done in %v of wall time\n", time.Since(start).Round(time.Millisecond))
 }

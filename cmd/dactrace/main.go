@@ -31,6 +31,8 @@ func main() {
 	out := flag.String("out", "", "file to write the generated trace to (default: stdout)")
 	cns := flag.Int("cns", 2, "compute nodes")
 	acs := flag.Int("acs", 4, "accelerators")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the replay to this file")
+	showMetrics := flag.Bool("metrics", false, "print the tracer's metrics summary (span latencies, counters, gauges) after the replay")
 	flag.Parse()
 
 	if *swf != "" {
@@ -98,6 +100,11 @@ func main() {
 	params := repro.DefaultParams()
 	params.ComputeNodes = *cns
 	params.Accelerators = *acs
+	var tracer *repro.Tracer
+	if *traceOut != "" || *showMetrics {
+		tracer = repro.NewTracer()
+		params.Tracer = tracer
+	}
 	var queued, ran metrics.Sample
 	var makespan time.Duration
 	var cnUtil, acUtil float64
@@ -137,5 +144,24 @@ func main() {
 	t.AddRow("accel util", fmt.Sprintf("%.1f%%", 100*acUtil), "", "")
 	if err := t.Render(os.Stdout); err != nil {
 		log.Fatalf("dactrace: %v", err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("dactrace: %v", err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			log.Fatalf("dactrace: write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("dactrace: write trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dactrace: wrote %d trace events to %s\n", len(tracer.Events()), *traceOut)
+	}
+	if *showMetrics {
+		fmt.Println()
+		if err := tracer.WriteSummary(os.Stdout); err != nil {
+			log.Fatalf("dactrace: metrics summary: %v", err)
+		}
 	}
 }

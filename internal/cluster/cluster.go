@@ -16,6 +16,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params configures the testbed's shape and its calibrated cost
@@ -52,6 +53,11 @@ type Params struct {
 	// scheduler capable of dynamic allocation integrates with the
 	// extended TORQUE (Section V).
 	MakeScheduler func(net *netsim.Network, serverEP string) SchedulerDaemon
+
+	// Tracer, when non-nil, is installed on the simulation before any
+	// daemon is built, so every layer (netsim, pbs, maui, dac) records
+	// spans and metrics into it. Nil disables tracing at no cost.
+	Tracer *trace.Tracer
 }
 
 // SchedulerDaemon is what the cluster needs from a scheduler: a
@@ -128,6 +134,9 @@ func ACName(i int) string { return fmt.Sprintf("ac%d", i) }
 
 // New builds a testbed on a fresh simulation.
 func New(s *sim.Simulation, p Params) *Cluster {
+	if p.Tracer != nil {
+		s.SetTracer(p.Tracer)
+	}
 	net := netsim.New(s, netsim.LinkParams{
 		Latency:       p.NetLatency,
 		BandwidthBps:  p.NetBandwidthBps,

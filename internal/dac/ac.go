@@ -3,11 +3,13 @@ package dac
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/pbs"
+	"repro/internal/trace"
 )
 
 // Accel is the unique handle identifying one allocated accelerator
@@ -90,14 +92,23 @@ func Init(env *pbs.JobEnv) (*AC, []*Accel, error) {
 	if len(env.AccHosts) == 0 {
 		return ac, nil, nil
 	}
+	var sp *trace.Span
+	if trc := ctx.Sim.Tracer(); trc != nil {
+		sp = trc.Start(ac.track(), "ac.init",
+			"job", env.JobID, "acs", strconv.Itoa(len(env.AccHosts)))
+	}
+	defer sp.End()
 
 	// Waiting phase: the daemons were launched by the mother
 	// superior; wait until they are ready to accept a connection.
+	wait := sp.Child("wait_port")
 	start := ctx.Sim.Now()
 	port := ctx.waitPort(env.JobID, env.Host)
 	ac.stats.InitWaiting = ctx.Sim.Now() - start
+	wait.End()
 
 	// Connect phase: MPI_Comm_connect/accept plus intercomm merge.
+	conn := sp.Child("connect")
 	start = ctx.Sim.Now()
 	inter, err := ac.proc.Connect(port, ac.proc.World())
 	if err != nil {
@@ -108,6 +119,7 @@ func Init(env *pbs.JobEnv) (*AC, []*Accel, error) {
 		return nil, nil, fmt.Errorf("dac: AC_Init merge: %w", err)
 	}
 	ac.stats.InitConnect = ctx.Sim.Now() - start
+	conn.End()
 
 	ac.comm = intra
 	accels := make([]*Accel, len(env.AccHosts))
@@ -170,12 +182,21 @@ func (ac *AC) Get(count int) (int, []*Accel, error) {
 		return 0, nil, ErrFinalized
 	}
 	ac.mu.Unlock()
+	var sp *trace.Span
+	if trc := ac.ctx.Sim.Tracer(); trc != nil {
+		sp = trc.Start(ac.track(), "ac.get",
+			"job", ac.env.JobID, "count", strconv.Itoa(count))
+	}
+	defer sp.End()
 
 	// Batch-system share: pbs_dynget blocks until the server replies.
+	bsp := sp.Child("batch")
 	start := ac.ctx.Sim.Now()
 	grant, err := ac.ifl.DynGet(ac.env.JobID, ac.env.Host, count)
 	batch := ac.ctx.Sim.Now() - start
+	bsp.End()
 	if err != nil {
+		sp.Annotate("outcome", "rejected")
 		ac.mu.Lock()
 		ac.stats.Gets = append(ac.stats.Gets, GetStat{Count: count, Batch: batch, Rejected: true})
 		ac.mu.Unlock()
@@ -183,9 +204,11 @@ func (ac *AC) Get(count int) (int, []*Accel, error) {
 	}
 
 	// Library share: spawn the daemons and rebuild the communicator.
+	msp := sp.Child("mpi")
 	start = ac.ctx.Sim.Now()
 	handles, err := ac.spawnAndMerge(grant.Hosts)
 	mpiT := ac.ctx.Sim.Now() - start
+	msp.End()
 	if err != nil {
 		return 0, nil, err
 	}
@@ -256,6 +279,12 @@ func (ac *AC) daemonRanksLocked() []int {
 // system through pbs_dynfree; the server's disassociation proceeds
 // while the application continues (Section III-D).
 func (ac *AC) Free(clientID int) error {
+	var sp *trace.Span
+	if trc := ac.ctx.Sim.Tracer(); trc != nil {
+		sp = trc.Start(ac.track(), "ac.free",
+			"job", ac.env.JobID, "client", strconv.Itoa(clientID))
+	}
+	defer sp.End()
 	if err := ac.releaseLocal(clientID); err != nil {
 		return err
 	}
@@ -265,6 +294,10 @@ func (ac *AC) Free(clientID int) error {
 	}
 	return nil
 }
+
+// track names the library's observability track, one per compute-node
+// process so concurrent applications render on separate timelines.
+func (ac *AC) track() string { return "dac@" + ac.env.Host }
 
 // releaseLocal performs the library-side half of AC_Free: disconnect
 // the set's daemons and shrink the communicator.

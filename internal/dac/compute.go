@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gpusim"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 // The computation API of Section II-C: allocate device memory, copy
@@ -17,8 +18,19 @@ import (
 // how applications overlap transfers and kernels (latency hiding).
 
 // roundTrip sends one request to the daemon behind h and waits for
-// its reply. sendSize is the simulated request payload size.
+// its reply. sendSize is the simulated request payload size. Every
+// round trip is a span ("op.kernel", "op.copyin", ...) on the
+// application's track, so kernel offloads and transfers appear on the
+// timeline with their full request/reply latency.
 func (ac *AC) roundTrip(h *Accel, req opRequest, sendSize int) (opReply, error) {
+	var sp *trace.Span
+	if trc := ac.ctx.Sim.Tracer(); trc != nil {
+		sp = trc.Start(ac.track(), "op."+req.Op, "ac", h.host)
+		if req.Kernel != "" {
+			sp.Annotate("kernel", req.Kernel)
+		}
+	}
+	defer sp.End()
 	ac.mu.Lock()
 	if ac.finalized {
 		ac.mu.Unlock()

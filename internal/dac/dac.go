@@ -18,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Common errors.
@@ -183,9 +184,16 @@ func (ctx *Context) jitter(d time.Duration) time.Duration {
 func (ctx *Context) StartDaemons(jobID, cn string, acHosts []string) {
 	ctx.MPI.LaunchWorld(acHosts, fmt.Sprintf("dacdaemon/%s/%s", jobID, cn), func(p *mpi.Proc) {
 		w := p.World()
+		// daemon.boot covers serial fork, init, and the readiness
+		// barrier — the dark "waiting" share of Figure 7(a).
+		var sp *trace.Span
+		if trc := ctx.Sim.Tracer(); trc != nil {
+			sp = trc.Start("dac/daemon@"+p.Host(), "daemon.boot", "job", jobID)
+		}
 		// Serial fork at the mom plus the daemon's own init.
 		ctx.Sim.Sleep(ctx.jitter(time.Duration(w.Rank()+1)*ctx.Params.DaemonLaunch + ctx.Params.DaemonInit))
 		if err := w.Barrier(); err != nil {
+			sp.End()
 			return
 		}
 		var port string
@@ -193,6 +201,7 @@ func (ctx *Context) StartDaemons(jobID, cn string, acHosts []string) {
 			port = p.OpenPort()
 			ctx.publishPort(jobID, cn, port)
 		}
+		sp.End()
 		inter, err := p.Accept(port, w)
 		if err != nil {
 			return

@@ -9,12 +9,15 @@ package maui
 import (
 	"errors"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // DefaultEndpoint is the scheduler's fabric name.
@@ -286,9 +289,16 @@ func (p *pools) fit(spec pbs.JobSpec, jobID string) (hosts []string, acc map[str
 }
 
 // runCycle is one scheduling iteration. It returns false when the
-// fabric has closed.
+// fabric has closed. Each phase (fetch, pool build, dyn fit, static
+// fit) runs under its own child span of sched.cycle, giving the
+// per-phase timing the paper's Figure 8 analysis needs.
 func (sc *Scheduler) runCycle() bool {
+	cyc := sc.sim.Tracer().Start("maui", "sched.cycle")
+	defer cyc.End()
+
+	fetch := cyc.Child("fetch")
 	info, err := sc.fetchInfo()
+	fetch.End()
 	if err != nil {
 		return false
 	}
@@ -302,16 +312,29 @@ func (sc *Scheduler) runCycle() bool {
 	}
 	sc.mu.Unlock()
 
+	pb := cyc.Child("pools")
 	p := newPools(info.Nodes)
+	pb.End()
+	if trc := sc.sim.Tracer(); trc != nil {
+		trc.Gauge("maui.queue_depth", float64(len(info.Queued)))
+		trc.Gauge("maui.dyn_backlog", float64(len(info.Dyn)))
+		trc.Gauge("maui.free_acs", float64(len(p.freeACs)))
+	}
 
 	if sc.params.DynTopPriority {
-		sc.scheduleDyn(info.Dyn, p)
-		sc.scheduleStatic(info, p)
+		dyn := cyc.Child("dyn")
+		sc.scheduleDyn(info.Dyn, p, dyn)
+		dyn.End()
+		st := cyc.Child("static")
+		sc.scheduleStatic(info, p, st)
+		st.End()
 		return true
 	}
 	// Ablation: merge dynamic requests into the FIFO stream by
 	// arrival time — they wait behind earlier static submissions.
-	sc.schedulePlainFIFO(info, p)
+	fifo := cyc.Child("fifo")
+	sc.schedulePlainFIFO(info, p, fifo)
+	fifo.End()
 	return true
 }
 
@@ -328,8 +351,12 @@ func (sc *Scheduler) allocDyn(r pbs.SchedDynView, p *pools) []string {
 }
 
 // scheduleDyn serves dynamic requests first, FIFO (paper policy).
-func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools) {
+func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools, phase *trace.Span) {
 	for _, r := range reqs {
+		var sp *trace.Span
+		if phase != nil {
+			sp = phase.Child("sched.dyn", "job", r.JobID, "count", strconv.Itoa(r.Count))
+		}
 		sc.sim.Sleep(sc.params.DynPerReqCost)
 		hosts := sc.allocDyn(r, p)
 		sc.mu.Lock()
@@ -339,6 +366,8 @@ func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools) {
 			sc.stats.DynRejected++
 		}
 		sc.mu.Unlock()
+		sp.Annotate("granted", strconv.FormatBool(len(hosts) > 0))
+		sp.End()
 		sc.send(pbs.DynAllocCmd{ReqID: r.ReqID, Hosts: hosts})
 	}
 }
@@ -354,7 +383,7 @@ func (sc *Scheduler) priority(j pbs.JobInfo) float64 {
 
 // scheduleStatic orders the queue by priority and places jobs,
 // optionally backfilling behind a blocked head.
-func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools) {
+func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools, phase *trace.Span) {
 	queued := append([]pbs.JobInfo(nil), info.Queued...)
 	sort.SliceStable(queued, func(a, b int) bool {
 		return sc.priority(queued[a]) > sc.priority(queued[b])
@@ -390,13 +419,13 @@ func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools) {
 			sc.stats.Backfilled++
 			sc.mu.Unlock()
 		}
-		sc.place(j, hosts, acc)
+		sc.place(j, hosts, acc, phase)
 	}
 }
 
 // schedulePlainFIFO is the DynTopPriority ablation: one stream
 // ordered by arrival, dynamic requests not prioritized.
-func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools) {
+func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools, phase *trace.Span) {
 	type item struct {
 		at  time.Duration
 		job *pbs.JobInfo
@@ -412,6 +441,7 @@ func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools) {
 	sort.SliceStable(items, func(a, b int) bool { return items[a].at < items[b].at })
 	for _, it := range items {
 		if it.dyn != nil {
+			sp := phase.Child("sched.dyn", "job", it.dyn.JobID)
 			sc.sim.Sleep(sc.params.DynPerReqCost)
 			hosts := sc.allocDyn(*it.dyn, p)
 			sc.mu.Lock()
@@ -421,12 +451,13 @@ func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools) {
 				sc.stats.DynRejected++
 			}
 			sc.mu.Unlock()
+			sp.End()
 			sc.send(pbs.DynAllocCmd{ReqID: it.dyn.ReqID, Hosts: hosts})
 			continue
 		}
 		sc.sim.Sleep(sc.params.PerJobCost)
 		if hosts, acc, ok := p.fit(it.job.Spec, it.job.ID); ok {
-			sc.place(*it.job, hosts, acc)
+			sc.place(*it.job, hosts, acc, phase)
 		}
 	}
 }
@@ -450,7 +481,15 @@ func (sc *Scheduler) shadowTime(running []pbs.JobInfo) time.Duration {
 
 // place commits a static allocation: charge fairshare and notify the
 // server.
-func (sc *Scheduler) place(j pbs.JobInfo, hosts []string, acc map[string][]string) {
+func (sc *Scheduler) place(j pbs.JobInfo, hosts []string, acc map[string][]string, phase *trace.Span) {
+	var sp *trace.Span
+	if phase != nil {
+		sp = phase.Child("place", "job", j.ID, "hosts", strings.Join(hosts, "+"))
+	}
+	defer sp.End()
+	if trc := sc.sim.Tracer(); trc != nil {
+		trc.Add("maui.placed", 1)
+	}
 	sc.mu.Lock()
 	sc.stats.JobsPlaced++
 	charge := float64(j.Spec.Nodes) * j.Spec.Walltime.Seconds()

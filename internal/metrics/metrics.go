@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -80,6 +81,34 @@ func (s *Sample) Max() time.Duration {
 	return durOf(m)
 }
 
+// Percentile returns the p-th percentile (p in [0,100], so P95 is
+// Percentile(95)) using linear interpolation between closest ranks;
+// out-of-range p clamps. It returns zero when empty. The paper-style
+// mean±std hides tails; the observability summary reports P50/P95/P99
+// through this.
+func (s *Sample) Percentile(p float64) time.Duration {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return durOf(sorted[lo])
+	}
+	frac := rank - float64(lo)
+	return durOf(sorted[lo] + frac*(sorted[hi]-sorted[lo]))
+}
+
 func durOf(sec float64) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
@@ -146,16 +175,34 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// CSV writes the table as comma-separated values (no quoting; the
-// experiment cells never contain commas).
+// CSV writes the table as comma-separated values. Cells containing
+// commas, quotes, or newlines are quoted RFC 4180-style (trace labels
+// and span annotations flow into tables, so cells can no longer be
+// assumed comma-free).
 func (t *Table) CSV(w io.Writer) error {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Headers, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
 		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// csvCell quotes a cell per RFC 4180 when it contains a comma, a
+// quote, or a line break, doubling embedded quotes.
+func csvCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
 }

@@ -90,3 +90,83 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("csv = %q", got)
 	}
 }
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := Table{Headers: []string{"plain", "with,comma", `with"quote`}}
+	tb.AddRow("a,b", `say "hi"`, "line1\nline2")
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "plain,\"with,comma\",\"with\"\"quote\"\n" +
+		"\"a,b\",\"say \"\"hi\"\"\",\"line1\nline2\"\n"
+	if got := b.String(); got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Sample
+	if got := s.Percentile(50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	var s Sample
+	s.Add(42 * time.Millisecond)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 42*time.Millisecond {
+			t.Errorf("P%v = %v, want 42ms", p, got)
+		}
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	// Insert out of order: Percentile must sort.
+	for _, ms := range []int{40, 10, 30, 20} {
+		s.Add(time.Duration(ms) * time.Millisecond)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 10 * time.Millisecond},
+		{50, 25 * time.Millisecond}, // halfway between 20 and 30
+		{100, 40 * time.Millisecond},
+		{-5, 10 * time.Millisecond}, // clamped
+		{150, 40 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := s.Percentile(c.p)
+		if diff := got - c.want; diff > time.Microsecond || diff < -time.Microsecond {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Percentile must not mutate the sample's insertion order
+	// (Min/Max/Mean still correct afterwards).
+	if s.Min() != 10*time.Millisecond || s.Max() != 40*time.Millisecond {
+		t.Error("Percentile mutated the sample")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(raw []uint32, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		lo, hi := float64(a%101), float64(b%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return s.Percentile(lo) <= s.Percentile(hi) &&
+			s.Percentile(0) == s.Min() && s.Percentile(100) == s.Max()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -343,6 +344,16 @@ func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) e
 		n.mu.Unlock()
 		if tr != nil {
 			tr(msg)
+		}
+		// Feed the observability layer: one async span per delivered
+		// message (in-flight intervals overlap freely), a per-tag
+		// delivery-latency histogram, and per-link traffic counters.
+		if trc := n.sim.Tracer(); trc != nil {
+			link := msg.From + "->" + msg.To
+			trc.AsyncSpanAt("netsim", "msg."+msg.Tag, msg.Sent, msg.Delivered-msg.Sent,
+				"from", msg.From, "to", msg.To, "size", strconv.Itoa(msg.Size))
+			trc.Add("netsim.msgs."+link, 1)
+			trc.Add("netsim.bytes."+link, int64(msg.Size))
 		}
 		dst.deliver(msg)
 	})

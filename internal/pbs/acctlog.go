@@ -40,7 +40,9 @@ func (r AccountingRecord) String() string {
 	return fmt.Sprintf("%d;%c;%s;%s", r.At.Microseconds(), r.Type, r.JobID, r.Detail)
 }
 
-// account appends a record.
+// account appends a record and mirrors it onto the trace bus, so the
+// accounting log and the trace timeline can be cross-checked
+// record-for-record.
 func (s *Server) account(typ byte, jobID, format string, args ...any) {
 	rec := AccountingRecord{
 		At:     s.sim.Now(),
@@ -51,6 +53,10 @@ func (s *Server) account(typ byte, jobID, format string, args ...any) {
 	s.mu.Lock()
 	s.acct = append(s.acct, rec)
 	s.mu.Unlock()
+	if trc := s.sim.Tracer(); trc != nil {
+		trc.InstantAt(ServerTrack, "acct."+string(rec.Type), rec.At,
+			"job", rec.JobID, "detail", rec.Detail)
+	}
 }
 
 // AccountingLog returns a snapshot of all records in order.

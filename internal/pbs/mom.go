@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // MomEndpoint returns the fabric name of the pbs_mom on a host.
@@ -184,6 +185,14 @@ func (m *Mom) handle(msg *netsim.Message) {
 // moms on every allocated host, start the accelerator daemons, then
 // start the job script on each compute node (paper Figure 5).
 func (m *Mom) runJob(req RunJobMsg) {
+	// mom.start covers the full mother-superior startup: JOIN fan-out,
+	// daemon kick-off, and task dispatch (paper Figure 5). The nil
+	// guard keeps the untraced path free of the track-name allocation.
+	var sp *trace.Span
+	if trc := m.sim.Tracer(); trc != nil {
+		sp = trc.Start("pbs/mom@"+m.host, "mom.start", "job", req.JobID)
+	}
+	defer sp.End()
 	m.sim.Sleep(m.params.StartCost)
 	allHosts := append([]string(nil), req.Hosts...)
 	for _, cn := range req.Hosts {
@@ -261,6 +270,11 @@ func (m *Mom) startTask(req StartTaskMsg) {
 		return
 	}
 	m.sim.Go(fmt.Sprintf("task/%s@%s", req.JobID, m.host), func() {
+		var sp *trace.Span
+		if trc := m.sim.Tracer(); trc != nil {
+			sp = trc.Start("pbs/mom@"+m.host, "job.run", "job", req.JobID)
+		}
+		defer sp.End()
 		if m.Prologue != nil {
 			m.Prologue(env)
 		}

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ServerEndpoint is the fabric name of the pbs_server daemon.
@@ -221,7 +223,12 @@ func (s *Server) withJob(id string, fn func(*serverJob)) bool {
 	return true
 }
 
+// ServerTrack is the server's observability track name.
+const ServerTrack = "pbs/server"
+
 func (s *Server) handleSubmit(req SubmitReq) {
+	sp := s.sim.Tracer().Start(ServerTrack, "submit", "owner", req.Spec.Owner)
+	defer sp.End()
 	if req.Spec.Nodes <= 0 || req.Spec.PPN < 0 || req.Spec.ACPN < 0 {
 		s.send(req.ReplyTo, SubmitResp{ReqID: req.ReqID, Err: "pbs: invalid resource request"})
 		return
@@ -239,6 +246,7 @@ func (s *Server) handleSubmit(req SubmitReq) {
 	}}
 	s.order = append(s.order, id)
 	s.mu.Unlock()
+	sp.Annotate("job", id)
 	s.account(AcctQueued, id, "owner=%s %s", req.Spec.Owner, FormatResourceRequest(req.Spec))
 	s.send(req.ReplyTo, SubmitResp{ReqID: req.ReqID, JobID: id})
 	s.kickScheduler("submit")
@@ -393,6 +401,12 @@ func (s *Server) notifyWaiters(jobID string) {
 // state. The server services dynamic requests one at a time; see
 // startNextDynLocked.
 func (s *Server) handleDynGet(req DynGetReq) {
+	var sp *trace.Span
+	if trc := s.sim.Tracer(); trc != nil {
+		sp = trc.Start(ServerTrack, "dynget",
+			"job", req.JobID, "count", strconv.Itoa(req.Count), "kind", req.Kind.String())
+	}
+	defer sp.End()
 	s.mu.Lock()
 	j, ok := s.jobs[req.JobID]
 	if !ok || j.info.State != JobRunning || req.Count <= 0 {
@@ -528,6 +542,8 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 }
 
 func (s *Server) handleAlloc(cmd AllocCmd) {
+	sp := s.sim.Tracer().Start(ServerTrack, "alloc", "job", cmd.JobID)
+	defer sp.End()
 	s.mu.Lock()
 	j, ok := s.jobs[cmd.JobID]
 	if !ok || j.info.State != JobQueued || j.info.Held || len(j.info.Hosts) > 0 {
@@ -701,6 +717,17 @@ func (s *Server) handleDynAddAck(ack DynAddAck) {
 // finishDynLocked archives a finished request into its job's record
 // and resumes servicing the queue. Callers hold s.mu.
 func (s *Server) finishDynLocked(rec *DynRecord) {
+	// One span per dynamic request covering the whole protocol
+	// interval (arrival at the server until the reply), the quantity
+	// Figures 7(b)-9 measure.
+	if trc := s.sim.Tracer(); trc != nil {
+		outcome := "granted"
+		if rec.State == DynRejected {
+			outcome = "rejected"
+		}
+		trc.AsyncSpanAt(ServerTrack, "dyn.request", rec.ArrivedAt, rec.RepliedAt-rec.ArrivedAt,
+			"job", rec.JobID, "count", fmt.Sprint(rec.Count), "outcome", outcome)
+	}
 	delete(s.dynReply, rec.ReqID)
 	for i, r := range s.dynQ {
 		if r == rec {
@@ -716,6 +743,8 @@ func (s *Server) finishDynLocked(rec *DynRecord) {
 }
 
 func (s *Server) handleJobDone(jobID string) {
+	sp := s.sim.Tracer().Start(ServerTrack, "jobdone", "job", jobID)
+	defer sp.End()
 	s.mu.Lock()
 	j, ok := s.jobs[jobID]
 	if !ok || j.info.State != JobRunning {

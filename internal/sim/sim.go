@@ -33,7 +33,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ErrDeadlock is wrapped by the error Run returns when every actor is
@@ -62,6 +65,11 @@ type Simulation struct {
 
 	panicMu  sync.Mutex
 	panicked []string
+
+	// tracer is the active observability sink; nil (the default)
+	// disables tracing. Atomic so the per-message and per-request hot
+	// paths read it without taking s.mu.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // New returns an empty simulation at virtual time zero.
@@ -80,6 +88,21 @@ func (s *Simulation) SetDeadline(d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.deadline = d
+}
+
+// SetTracer installs (or, with nil, removes) the observability
+// tracer and binds its clock to this simulation's virtual time. Every
+// component layered on the simulation reads it through Tracer.
+func (s *Simulation) SetTracer(t *trace.Tracer) {
+	t.SetClock(s.Now)
+	s.tracer.Store(t)
+}
+
+// Tracer returns the active tracer, or nil when tracing is disabled.
+// All trace.Tracer methods are nil-safe, so callers instrument
+// unconditionally: s.Tracer().Start(...) is a no-op without a tracer.
+func (s *Simulation) Tracer() *trace.Tracer {
+	return s.tracer.Load()
 }
 
 // Now reports the current virtual time as an offset from the start of

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export: the JSON object format understood by
+// Perfetto and chrome://tracing. Virtual timestamps map to the
+// format's microsecond "ts" field, so a 300 ms pbs_dynget round trip
+// reads as 300 ms on the timeline. Each component track becomes a
+// named thread; spans are "X" (complete) events carrying their span
+// and parent ids in args, instants are "i" events.
+
+// chromeSpan and chromeInstant are the two wire shapes. Separate
+// structs (rather than omitempty juggling) keep the field sets — and
+// therefore the golden file — exact.
+type chromeSpan struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeInstant struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	S    string            `json:"s"`
+	Ts   float64           `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeAsync is one endpoint ("b" or "e") of an async event pair;
+// the id field correlates the two and keeps overlapping intervals
+// legal on one track.
+type chromeAsync struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	ID   string            `json:"id"`
+	Ts   float64           `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromePid is the single synthetic process all tracks live in.
+const chromePid = 1
+
+// WriteChrome renders events as a Chrome trace-event JSON document.
+// Output is deterministic: events keep publish order, tracks get
+// thread ids in order of first appearance, and args keys are sorted
+// by encoding/json.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	tids := make(map[string]int)
+	var order []string
+	for _, ev := range events {
+		if _, ok := tids[ev.Track]; !ok {
+			tids[ev.Track] = len(tids) + 1
+			order = append(order, ev.Track)
+		}
+	}
+	first := true
+	emit := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	// Thread-name metadata first, so viewers label the tracks.
+	for _, track := range order {
+		err := emit(chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tids[track],
+			Args: map[string]string{"name": track},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	micros := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for _, ev := range events {
+		args := make(map[string]string, len(ev.Args)+2)
+		for _, kv := range ev.Args {
+			args[kv.Key] = kv.Value
+		}
+		var err error
+		switch ev.Kind {
+		case KindSpan:
+			if ev.Async {
+				id := strconv.FormatUint(ev.ID, 10)
+				err = emit(chromeAsync{
+					Name: ev.Name, Cat: ev.Track, Ph: "b", ID: id,
+					Ts: micros(int64(ev.Start)), Pid: chromePid, Tid: tids[ev.Track], Args: args,
+				})
+				if err == nil {
+					err = emit(chromeAsync{
+						Name: ev.Name, Cat: ev.Track, Ph: "e", ID: id,
+						Ts: micros(int64(ev.Start + ev.Dur)), Pid: chromePid, Tid: tids[ev.Track],
+					})
+				}
+				break
+			}
+			if ev.ID != 0 {
+				args["span"] = strconv.FormatUint(ev.ID, 10)
+			}
+			if ev.Parent != 0 {
+				args["parent"] = strconv.FormatUint(ev.Parent, 10)
+			}
+			err = emit(chromeSpan{
+				Name: ev.Name, Cat: ev.Track, Ph: "X",
+				Ts: micros(int64(ev.Start)), Dur: micros(int64(ev.Dur)),
+				Pid: chromePid, Tid: tids[ev.Track], Args: args,
+			})
+		case KindInstant:
+			err = emit(chromeInstant{
+				Name: ev.Name, Cat: ev.Track, Ph: "i", S: "t",
+				Ts: micros(int64(ev.Start)), Pid: chromePid, Tid: tids[ev.Track], Args: args,
+			})
+		default:
+			err = fmt.Errorf("trace: unknown event kind %d", ev.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChrome renders the tracer's recorded events; see the package
+// function.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, t.Events())
+}

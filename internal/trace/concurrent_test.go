@@ -1,0 +1,113 @@
+package trace_test
+
+// External test package: exercising the tracer from real simulation
+// actors needs repro/internal/sim, which itself imports trace.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestConcurrentActors(t *testing.T) {
+	// Many simulation actors emit spans, instants, and counters at
+	// once; the tracer must stay consistent (run with -race).
+	const actors, spansPer = 8, 25
+	tr := trace.New()
+	s := sim.New()
+	s.SetTracer(tr)
+	err := s.Run(func() {
+		var mu sync.Mutex
+		remaining := actors
+		gate := s.NewGate("join")
+		for i := 0; i < actors; i++ {
+			host := string(rune('a' + i))
+			s.Go("actor-"+host, func() {
+				for j := 0; j < spansPer; j++ {
+					sp := s.Tracer().Start("comp@"+host, "work")
+					s.Sleep(time.Millisecond)
+					sp.Child("inner").End()
+					sp.End()
+					s.Tracer().Instant("comp@"+host, "tick")
+					s.Tracer().Add("ticks", 1)
+				}
+				mu.Lock()
+				remaining--
+				mu.Unlock()
+				gate.Broadcast()
+			})
+		}
+		mu.Lock()
+		for remaining > 0 {
+			gate.Wait(&mu)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	wantEvents := actors * spansPer * 3 // outer + inner + instant
+	if len(evs) != wantEvents {
+		t.Fatalf("got %d events, want %d", len(evs), wantEvents)
+	}
+	if got := tr.Counters()["ticks"]; got != actors*spansPer {
+		t.Fatalf("ticks = %d, want %d", got, actors*spansPer)
+	}
+	// Span ids must be unique across actors.
+	ids := make(map[uint64]bool)
+	for _, ev := range evs {
+		if ev.Kind != trace.KindSpan {
+			continue
+		}
+		if ids[ev.ID] {
+			t.Fatalf("duplicate span id %d", ev.ID)
+		}
+		ids[ev.ID] = true
+	}
+	h := tr.Histogram("comp.work")
+	if h == nil || h.N() != actors*spansPer {
+		t.Fatalf("comp.work histogram = %+v", h)
+	}
+	if h.Min() != time.Millisecond || h.Max() != time.Millisecond {
+		t.Errorf("work spans should all last 1ms, got %v..%v", h.Min(), h.Max())
+	}
+}
+
+func TestSimTracerDefaultNil(t *testing.T) {
+	s := sim.New()
+	if s.Tracer() != nil {
+		t.Fatal("fresh simulation should have no tracer")
+	}
+	// Instrumented code paths call through the nil tracer untraced.
+	err := s.Run(func() {
+		sp := s.Tracer().Start("x", "y")
+		s.Sleep(time.Millisecond)
+		sp.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimSetTracerBindsClock(t *testing.T) {
+	s := sim.New()
+	tr := trace.New()
+	s.SetTracer(tr)
+	var dur time.Duration
+	err := s.Run(func() {
+		sp := tr.Start("x", "y")
+		s.Sleep(250 * time.Millisecond)
+		sp.End()
+		dur = tr.Events()[0].Dur
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur != 250*time.Millisecond {
+		t.Fatalf("span dur = %v, want 250ms of virtual time", dur)
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Aligned-text summary export, built on metrics.Table: one table of
+// latency histograms (every span family plus explicit Observe
+// streams) with the tail quantiles the paper's mean±std hides, one of
+// counters, and one of gauges.
+
+// SummaryTables renders the metric registries as tables. Histogram
+// rows are sorted by name; counters and gauges keep registration
+// order (the order components came up in).
+func (t *Tracer) SummaryTables() []*metrics.Table {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	histKey := append([]string(nil), t.histKey...)
+	hists := make(map[string]*metrics.Sample, len(histKey))
+	for _, k := range histKey {
+		cp := *t.hists[k]
+		hists[k] = &cp
+	}
+	counterKey := append([]string(nil), t.counterKey...)
+	counters := make(map[string]int64, len(counterKey))
+	for _, k := range counterKey {
+		counters[k] = t.counters[k]
+	}
+	gaugeKey := append([]string(nil), t.gaugeKey...)
+	gauges := make(map[string]float64, len(gaugeKey))
+	for _, k := range gaugeKey {
+		gauges[k] = t.gauges[k]
+	}
+	t.mu.Unlock()
+
+	var out []*metrics.Table
+	if len(histKey) > 0 {
+		sort.Strings(histKey)
+		tb := &metrics.Table{
+			Title:   "Span latencies [ms]",
+			Headers: []string{"span", "count", "mean", "p50", "p95", "p99", "max"},
+		}
+		for _, k := range histKey {
+			s := hists[k]
+			tb.AddRow(k,
+				fmt.Sprint(s.N()),
+				metrics.Ms(s.Mean()),
+				metrics.Ms(s.Percentile(50)),
+				metrics.Ms(s.Percentile(95)),
+				metrics.Ms(s.Percentile(99)),
+				metrics.Ms(s.Max()),
+			)
+		}
+		out = append(out, tb)
+	}
+	if len(counterKey) > 0 {
+		tb := &metrics.Table{Title: "Counters", Headers: []string{"counter", "value"}}
+		for _, k := range counterKey {
+			tb.AddRow(k, fmt.Sprint(counters[k]))
+		}
+		out = append(out, tb)
+	}
+	if len(gaugeKey) > 0 {
+		tb := &metrics.Table{Title: "Gauges (latest)", Headers: []string{"gauge", "value"}}
+		for _, k := range gaugeKey {
+			tb.AddRow(k, fmt.Sprintf("%g", gauges[k]))
+		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+// WriteSummary renders all summary tables separated by blank lines.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	for i, tb := range t.SummaryTables() {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

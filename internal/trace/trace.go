@@ -1,0 +1,425 @@
+// Package trace is the simulation-aware observability layer: named
+// spans in virtual time with parent/child causality, a registry of
+// counters, gauges, and latency histograms, and an event bus that
+// components publish to without coupling to any sink.
+//
+// The paper's evaluation (Section IV) is a measurement study of batch
+// protocol latencies — daemon start, pbs_dynget round trips, scheduler
+// cycle cost. This package makes those measurements first-class: every
+// layer (pbs server, Maui scheduler, fabric, DAC library) opens spans
+// on its hot paths, and exporters render the result as a Chrome
+// trace-event file (chrome.go, loadable in Perfetto) or an aligned
+// metrics summary (summary.go).
+//
+// # Disabled tracing
+//
+// A nil *Tracer is the disabled tracer: every method is nil-receiver
+// safe and returns immediately without allocating, so instrumented
+// code calls tracer methods unconditionally. Components obtain the
+// active tracer from their simulation (sim.Simulation.Tracer), which
+// is a single atomic load.
+//
+// # Concurrency
+//
+// A Tracer is safe for concurrent use by any number of simulation
+// actors; it follows the sim kernel's discipline (no tracer method
+// parks, so it may be called while holding component locks).
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// EventKind discriminates bus events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// KindSpan is a completed interval (Start..Start+Dur).
+	KindSpan EventKind = iota
+	// KindInstant is a point event.
+	KindInstant
+)
+
+// KV is one string annotation on an event.
+type KV struct {
+	Key, Value string
+}
+
+// Event is one record on the bus: a completed span or an instant.
+// Virtual timestamps are offsets from simulation start.
+type Event struct {
+	Kind   EventKind
+	Track  string // component track, e.g. "pbs/server", "maui", "netsim", "dac@cn0"
+	Name   string
+	Start  time.Duration
+	Dur    time.Duration // KindSpan only
+	ID     uint64        // span id (0 for instants)
+	Parent uint64        // parent span id (0 = root)
+	Async  bool          // may overlap others on its track (in-flight messages)
+	Args   []KV
+}
+
+// Tracer records events and aggregates metrics. Create with New; a
+// nil Tracer is the disabled, allocation-free no-op.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() time.Duration
+	nextID uint64
+	events []Event
+	subs   []func(Event)
+
+	counters   map[string]int64
+	gauges     map[string]float64
+	hists      map[string]*metrics.Sample
+	counterKey []string // insertion order, for deterministic export
+	gaugeKey   []string
+	histKey    []string
+}
+
+// New returns an enabled tracer. Bind it to a simulation's virtual
+// clock with SetClock (sim.Simulation.SetTracer does this for you);
+// unbound, all timestamps read zero.
+func New() *Tracer {
+	return &Tracer{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*metrics.Sample),
+	}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetClock installs the virtual-time source (typically
+// sim.Simulation.Now). Rebinding is allowed: multi-trial experiments
+// reuse one tracer across consecutive simulations.
+func (t *Tracer) SetClock(clock func() time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// now reads the bound clock. Callers hold t.mu.
+func (t *Tracer) nowLocked() time.Duration {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Now reads the tracer's virtual clock (zero when unbound).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nowLocked()
+}
+
+// Span is an open interval created by Start or Child. End it exactly
+// once; a nil Span (from a nil Tracer) ignores all calls.
+type Span struct {
+	t *Tracer
+	// clock is captured at creation: when one tracer is reused across
+	// consecutive simulations (multi-trial experiments rebind via
+	// SetClock), a span still open from the previous trial must end
+	// against its own simulation's clock, not the new one.
+	clock  func() time.Duration
+	track  string
+	name   string
+	start  time.Duration
+	id     uint64
+	parent uint64
+	args   []KV
+	ended  bool
+}
+
+// Start opens a root span on a component track. kvs are alternating
+// key/value annotation pairs.
+func (t *Tracer) Start(track, name string, kvs ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	sp := &Span{t: t, clock: t.clock, track: track, name: name, start: t.nowLocked(), id: t.nextID, args: pairs(kvs)}
+	t.mu.Unlock()
+	return sp
+}
+
+// Child opens a sub-span of s on the same track, establishing
+// parent/child causality in the exported trace.
+func (s *Span) Child(name string, kvs ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	t.mu.Lock()
+	t.nextID++
+	now := s.start
+	if s.clock != nil {
+		now = s.clock()
+	}
+	sp := &Span{t: t, clock: s.clock, track: s.track, name: name, start: now, id: t.nextID, parent: s.id, args: pairs(kvs)}
+	t.mu.Unlock()
+	return sp
+}
+
+// Annotate attaches a key/value pair to the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.args = append(s.args, KV{key, value})
+}
+
+// ID returns the span's id (0 for the nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End closes the span: it publishes a KindSpan event and folds the
+// duration into the "track.name" latency histogram. Ending twice is a
+// no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.t
+	t.mu.Lock()
+	now := s.start
+	if s.clock != nil {
+		now = s.clock()
+	}
+	ev := Event{
+		Kind: KindSpan, Track: s.track, Name: s.name,
+		Start: s.start, Dur: now - s.start,
+		ID: s.id, Parent: s.parent, Args: s.args,
+	}
+	t.publishLocked(ev)
+	t.observeLocked(histTrack(s.track)+"."+s.name, ev.Dur)
+	subs := t.subs
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// SpanAt records an already-measured interval (for layers that know a
+// start and duration after the fact, like message delivery). It feeds
+// the same histogram Start/End would.
+func (t *Tracer) SpanAt(track, name string, start, dur time.Duration, kvs ...string) {
+	t.spanAt(track, name, start, dur, false, kvs)
+}
+
+// AsyncSpanAt is SpanAt for intervals that legitimately overlap
+// others on the same track — messages in flight on the fabric. The
+// Chrome exporter renders them as async (b/e) events, which viewers
+// allow to interleave.
+func (t *Tracer) AsyncSpanAt(track, name string, start, dur time.Duration, kvs ...string) {
+	t.spanAt(track, name, start, dur, true, kvs)
+}
+
+func (t *Tracer) spanAt(track, name string, start, dur time.Duration, async bool, kvs []string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nextID++
+	ev := Event{Kind: KindSpan, Track: track, Name: name, Start: start, Dur: dur, ID: t.nextID, Async: async, Args: pairs(kvs)}
+	t.publishLocked(ev)
+	t.observeLocked(histTrack(track)+"."+name, dur)
+	subs := t.subs
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// Instant publishes a point event at the current virtual time.
+func (t *Tracer) Instant(track, name string, kvs ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev := Event{Kind: KindInstant, Track: track, Name: name, Start: t.nowLocked(), Args: pairs(kvs)}
+	t.publishLocked(ev)
+	subs := t.subs
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// InstantAt is Instant with an explicit virtual timestamp (for
+// re-publishing records that carry their own time, like accounting
+// log lines).
+func (t *Tracer) InstantAt(track, name string, at time.Duration, kvs ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev := Event{Kind: KindInstant, Track: track, Name: name, Start: at, Args: pairs(kvs)}
+	t.publishLocked(ev)
+	subs := t.subs
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// publishLocked appends to the event log. Callers hold t.mu.
+func (t *Tracer) publishLocked(ev Event) {
+	t.events = append(t.events, ev)
+}
+
+// Subscribe registers a sink invoked for every subsequent span/instant
+// event. Sinks run on the publishing actor and must not park.
+func (t *Tracer) Subscribe(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.subs = append(t.subs, fn)
+	t.mu.Unlock()
+}
+
+// Add increments a named counter.
+func (t *Tracer) Add(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.counters[name]; !ok {
+		t.counterKey = append(t.counterKey, name)
+	}
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Gauge sets a named gauge to its latest value.
+func (t *Tracer) Gauge(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.gauges[name]; !ok {
+		t.gaugeKey = append(t.gaugeKey, name)
+	}
+	t.gauges[name] = v
+	t.mu.Unlock()
+}
+
+// Observe adds one duration observation to a named histogram.
+func (t *Tracer) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observeLocked(name, d)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) observeLocked(name string, d time.Duration) {
+	s, ok := t.hists[name]
+	if !ok {
+		s = &metrics.Sample{}
+		t.hists[name] = s
+		t.histKey = append(t.histKey, name)
+	}
+	s.Add(d)
+}
+
+// Events returns a snapshot of all recorded events in publish order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Counters returns a snapshot of the counter registry.
+func (t *Tracer) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a snapshot of the gauge registry.
+func (t *Tracer) Gauges() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]float64, len(t.gauges))
+	for k, v := range t.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Histogram returns a copy of one named histogram (nil if absent).
+func (t *Tracer) Histogram(name string) *metrics.Sample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.hists[name]
+	if !ok {
+		return nil
+	}
+	cp := *s
+	return &cp
+}
+
+// histTrack strips the "@host" instance suffix from a track name so
+// latency histograms aggregate per component ("dac@cn0" and "dac@cn1"
+// both feed "dac.<span>") while the timeline keeps per-host tracks.
+func histTrack(track string) string {
+	for i := 0; i < len(track); i++ {
+		if track[i] == '@' {
+			return track[:i]
+		}
+	}
+	return track
+}
+
+// pairs folds alternating key/value strings into annotations; a
+// trailing odd key gets an empty value.
+func pairs(kvs []string) []KV {
+	if len(kvs) == 0 {
+		return nil
+	}
+	out := make([]KV, 0, (len(kvs)+1)/2)
+	for i := 0; i < len(kvs); i += 2 {
+		kv := KV{Key: kvs[i]}
+		if i+1 < len(kvs) {
+			kv.Value = kvs[i+1]
+		}
+		out = append(out, kv)
+	}
+	return out
+}

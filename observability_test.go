@@ -1,0 +1,149 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestTraceCoversAllComponents drives a dynamic-allocation job with
+// tracing on and checks the exported Chrome trace: it must be valid
+// JSON and carry spans from all four instrumented layers (pbs, maui,
+// netsim, dac), and every accounting record must have a matching
+// trace instant at the same virtual time.
+func TestTraceCoversAllComponents(t *testing.T) {
+	tracer := repro.NewTracer()
+	params := repro.DefaultParams()
+	params.Tracer = tracer
+
+	var mu sync.Mutex
+	var acct []repro.AccountingRecord
+	err := repro.RunCluster(params, func(c *repro.Cluster, client *repro.Client) {
+		id, err := client.Submit(repro.JobSpec{
+			Name: "traced", Owner: "t", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Minute,
+			Script: func(env *repro.JobEnv) {
+				ac, hs, err := repro.Init(env)
+				if err != nil {
+					t.Errorf("Init: %v", err)
+					return
+				}
+				defer ac.Finalize()
+				set, dyn, err := ac.Get(1)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				for _, h := range append(hs, dyn...) {
+					p, err := ac.MemAlloc(h, 1024)
+					if err != nil {
+						t.Errorf("MemAlloc: %v", err)
+						return
+					}
+					if err := ac.MemCpyToDevice(h, p, 0, []byte{1, 2, 3}); err != nil {
+						t.Errorf("copy: %v", err)
+						return
+					}
+				}
+				if err := ac.Free(set); err != nil {
+					t.Errorf("Free: %v", err)
+				}
+			},
+		})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		if info, err := client.Wait(id); err != nil || info.State != repro.JobCompleted {
+			t.Errorf("Wait: %v %v", info.State, err)
+		}
+		mu.Lock()
+		acct = c.Server.AccountingLog()
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	components := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			continue
+		}
+		track := ev.Args["name"]
+		comp, _, _ := strings.Cut(track, "/")
+		comp, _, _ = strings.Cut(comp, "@")
+		components[comp] = true
+	}
+	for _, want := range []string{"pbs", "maui", "netsim", "dac"} {
+		if !components[want] {
+			t.Errorf("trace has no %q track (components: %v)", want, components)
+		}
+	}
+
+	// The submit → dynget → alloc → jobdone server spans must all be
+	// present for the traced job.
+	spanNames := map[string]bool{}
+	for _, ev := range tracer.Events() {
+		if ev.Track == "pbs/server" && ev.Kind == repro.TraceSpan {
+			spanNames[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"submit", "dynget", "alloc", "jobdone", "dyn.request"} {
+		if !spanNames[want] {
+			t.Errorf("pbs/server track missing %q span (have %v)", want, spanNames)
+		}
+	}
+
+	// Every accounting record re-publishes as an "acct.<type>" instant
+	// at the same virtual timestamp with the same job id.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(acct) == 0 {
+		t.Fatal("no accounting records")
+	}
+	type key struct {
+		name string
+		at   time.Duration
+		job  string
+	}
+	instants := map[key]int{}
+	for _, ev := range tracer.Events() {
+		if ev.Kind != repro.TraceInstant || !strings.HasPrefix(ev.Name, "acct.") {
+			continue
+		}
+		var job string
+		for _, kv := range ev.Args {
+			if kv.Key == "job" {
+				job = kv.Value
+			}
+		}
+		instants[key{ev.Name, ev.Start, job}]++
+	}
+	for _, rec := range acct {
+		k := key{"acct." + string(rec.Type), rec.At, rec.JobID}
+		if instants[k] == 0 {
+			t.Errorf("accounting record %s has no matching trace instant", rec)
+		} else {
+			instants[k]--
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -66,6 +67,30 @@ type (
 
 // NewSimulation creates an empty simulation at virtual time zero.
 func NewSimulation() *Simulation { return sim.New() }
+
+// Observability (see internal/trace).
+type (
+	// Tracer records virtual-time spans, instants, and metrics from
+	// every instrumented layer. Install one via Params.Tracer (or
+	// Simulation.SetTracer); a nil tracer disables tracing.
+	Tracer = trace.Tracer
+	// TraceEvent is one recorded span or instant.
+	TraceEvent = trace.Event
+	// AccountingRecord is one line of the server's TORQUE-style
+	// accounting log (Server.AccountingLog); with tracing enabled each
+	// record is also published as an "acct.<type>" trace instant.
+	AccountingRecord = pbs.AccountingRecord
+)
+
+// Trace event kinds.
+const (
+	TraceSpan    = trace.KindSpan
+	TraceInstant = trace.KindInstant
+)
+
+// NewTracer creates an enabled tracer. Dump it with WriteChrome
+// (Perfetto / chrome://tracing) or WriteSummary (aligned tables).
+func NewTracer() *Tracer { return trace.New() }
 
 // Fabric is the simulated cluster interconnect (exposed through
 // Cluster.Net for failure injection via SetDown / SetHostDown).

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Static and dynamic checks for the whole module: formatting, vet,
+# and the full test suite under the race detector. Run from anywhere;
+# CI and scripts/reproduce.sh call this before anything else.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go test -race"
+go test -race ./... -count=1
+
+echo "==> checks passed"

@@ -7,6 +7,9 @@ set -eu
 cd "$(dirname "$0")/.."
 mkdir -p results
 
+echo "==> formatting, vet, and race-detector checks"
+sh scripts/check.sh
+
 echo "==> unit, integration, and property tests"
 go test ./... -count=1 | tee results/test.txt
 
