@@ -1,0 +1,266 @@
+// Command dacbench produces and compares machine-readable benchmark
+// reports of the simulated DAC testbed.
+//
+// Record mode runs every figure experiment plus the cluster-scale
+// ladder and writes a BENCH_<date>.json report. All recorded series
+// are *virtual* times — the simulation's deterministic clock — so
+// they are stable across host machines and load; wall-clock times
+// ride along as informational fields only.
+//
+// Compare mode checks a candidate report against a committed
+// baseline and exits non-zero when any shared virtual-time series
+// deviates by more than the tolerance (default ±15%), which is what
+// the CI benchmark-regression gate runs on every PR:
+//
+//	dacbench -out BENCH_2026-08-05.json
+//	dacbench -compare BENCH_baseline.json -candidate BENCH_new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+// Report is the BENCH_<date>.json schema. Series maps a stable name
+// ("fig7a/total/acs=3") to a virtual-time measurement in
+// milliseconds; Wall maps an experiment to host seconds.
+type Report struct {
+	SchemaVersion int                `json:"schema_version"`
+	Date          string             `json:"date"`
+	GoVersion     string             `json:"go_version"`
+	Trials        int                `json:"trials"`
+	Series        map[string]float64 `json:"series_virtual_ms"`
+	Wall          map[string]float64 `json:"wall_seconds"`
+}
+
+func vms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+func record(trials int, scaleSizes []int) (*Report, error) {
+	rep := &Report{
+		SchemaVersion: 1,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		Trials:        trials,
+		Series:        make(map[string]float64),
+		Wall:          make(map[string]float64),
+	}
+	params := repro.DefaultParams()
+
+	wall := func(name string, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Wall[name] = time.Since(start).Seconds()
+		return nil
+	}
+
+	if err := wall("fig7a", func() error {
+		pts, err := repro.Fig7a(params, 6, trials)
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			rep.Series[fmt.Sprintf("fig7a/waiting/acs=%d", pt.Accelerators)] = vms(pt.Waiting)
+			rep.Series[fmt.Sprintf("fig7a/connect/acs=%d", pt.Accelerators)] = vms(pt.Connect)
+			rep.Series[fmt.Sprintf("fig7a/total/acs=%d", pt.Accelerators)] = vms(pt.Total)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := wall("fig7b", func() error {
+		pts, err := repro.Fig7b(params, 6, trials)
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			rep.Series[fmt.Sprintf("fig7b/batch/acs=%d", pt.Accelerators)] = vms(pt.Batch)
+			rep.Series[fmt.Sprintf("fig7b/total/acs=%d", pt.Accelerators)] = vms(pt.Total)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := wall("fig8", func() error {
+		pts, err := repro.Fig8(params, []int{0, 16, 20}, trials)
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			rep.Series[fmt.Sprintf("fig8/total/load=%d", pt.Load)] = vms(pt.Total)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := wall("fig9", func() error {
+		pts, err := repro.Fig9(params, trials)
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			rep.Series[fmt.Sprintf("fig9/total/node=%s", pt.Node)] = vms(pt.Total)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := wall("scale", func() error {
+		pts, err := repro.Scale(params, scaleSizes)
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			rep.Series[fmt.Sprintf("scale/cycle_mean/cns=%d", pt.ComputeNodes)] = vms(pt.CycleMean)
+			rep.Series[fmt.Sprintf("scale/cycle_max/cns=%d", pt.ComputeNodes)] = vms(pt.CycleMax)
+			rep.Series[fmt.Sprintf("scale/dyn_latency/cns=%d", pt.ComputeNodes)] = vms(pt.DynLatency)
+			rep.Series[fmt.Sprintf("scale/makespan/cns=%d", pt.ComputeNodes)] = vms(pt.Makespan)
+			rep.Wall[fmt.Sprintf("scale/cns=%d", pt.ComputeNodes)] = pt.Wall.Seconds()
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	return rep, nil
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Series) == 0 {
+		return nil, fmt.Errorf("%s: no series", path)
+	}
+	return &rep, nil
+}
+
+// compare checks every series the baseline and candidate share (the
+// virtual clock is deterministic, so shared series should match to
+// well within the tolerance) and reports series present on only one
+// side without failing on them — experiments may be added or retired.
+func compare(baseline, candidate *Report, tol float64) (failures []string) {
+	if baseline.Trials != candidate.Trials {
+		fmt.Printf("note: trials differ (baseline %d, candidate %d); means may shift with jitter enabled\n",
+			baseline.Trials, candidate.Trials)
+	}
+	names := make([]string, 0, len(baseline.Series))
+	for name := range baseline.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := baseline.Series[name]
+		c, ok := candidate.Series[name]
+		if !ok {
+			fmt.Printf("note: series %q missing from candidate\n", name)
+			continue
+		}
+		var dev float64
+		switch {
+		case b == 0 && c == 0:
+			continue
+		case b == 0:
+			dev = 1
+		default:
+			dev = (c - b) / b
+			if dev < 0 {
+				dev = -dev
+			}
+		}
+		status := "ok"
+		if dev > tol {
+			status = "FAIL"
+			failures = append(failures,
+				fmt.Sprintf("%s: baseline %.3f ms, candidate %.3f ms (%.1f%% > %.0f%%)",
+					name, b, c, dev*100, tol*100))
+		}
+		fmt.Printf("%-4s %-32s baseline %10.3f  candidate %10.3f  (%+.1f%%)\n",
+			status, name, b, c, (c-b)/max(b, 1e-9)*100)
+	}
+	for name := range candidate.Series {
+		if _, ok := baseline.Series[name]; !ok {
+			fmt.Printf("note: new series %q not in baseline\n", name)
+		}
+	}
+	return failures
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func main() {
+	out := flag.String("out", "", "write a benchmark report to this file (default BENCH_<date>.json)")
+	trials := flag.Int("trials", 3, "trials per figure data point")
+	parallel := flag.Int("parallel", 0, "trial parallelism (0 = all cores); virtual times are identical at every level")
+	baselinePath := flag.String("compare", "", "baseline report; with -candidate, compare instead of recording")
+	candidatePath := flag.String("candidate", "", "candidate report to check against -compare")
+	tol := flag.Float64("tolerance", 0.15, "maximum relative deviation per virtual-time series")
+	flag.Parse()
+
+	if *baselinePath != "" {
+		if *candidatePath == "" {
+			log.Fatal("dacbench: -compare requires -candidate")
+		}
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			log.Fatalf("dacbench: %v", err)
+		}
+		candidate, err := load(*candidatePath)
+		if err != nil {
+			log.Fatalf("dacbench: %v", err)
+		}
+		failures := compare(baseline, candidate, *tol)
+		if len(failures) > 0 {
+			fmt.Println()
+			for _, f := range failures {
+				fmt.Printf("regression: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nall %d shared series within %.0f%% of baseline\n",
+			len(baseline.Series), *tol*100)
+		return
+	}
+
+	repro.SetParallelism(*parallel)
+	rep, err := record(*trials, []int{8, 64, 256})
+	if err != nil {
+		log.Fatalf("dacbench: %v", err)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rep.Date)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("dacbench: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("dacbench: %v", err)
+	}
+	fmt.Printf("dacbench: wrote %d series to %s\n", len(rep.Series), path)
+}

@@ -22,15 +22,18 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, ablations, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, scale, ablations, all")
 	trials := flag.Int("trials", 10, "trials per data point (the paper averages 10)")
 	maxACs := flag.Int("max", 6, "maximum accelerator count for figures 7(a) and 7(b)")
+	scaleNodes := flag.Int("scale-max", 256, "largest compute-node count for -fig scale (accelerators and jobs grow 8x)")
 	jitter := flag.Float64("jitter", 0, "fabric latency jitter fraction (e.g. 0.1); 0 keeps runs exactly deterministic")
+	parallel := flag.Int("parallel", 0, "independent trials run on this many OS threads (0 or <1 = all cores); output is identical at every level")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every simulated run to this file")
 	showMetrics := flag.Bool("metrics", false, "print the tracer's metrics summary (span latencies, counters, gauges) after the figures")
 	flag.Parse()
 
+	repro.SetParallelism(*parallel)
 	params := repro.DefaultParams()
 	params.LatencyJitter = *jitter
 	var tracer *repro.Tracer
@@ -78,6 +81,22 @@ func main() {
 			log.Fatalf("dacsim: figure 9: %v", err)
 		}
 		emit(repro.Fig9Table(pts))
+	}
+	runScale := func() {
+		var sizes []int
+		for _, n := range repro.ScaleSizes {
+			if n <= *scaleNodes {
+				sizes = append(sizes, n)
+			}
+		}
+		if len(sizes) == 0 || sizes[len(sizes)-1] != *scaleNodes {
+			sizes = append(sizes, *scaleNodes)
+		}
+		pts, err := repro.Scale(params, sizes)
+		if err != nil {
+			log.Fatalf("dacsim: scale: %v", err)
+		}
+		emit(repro.ScaleTable(pts))
 	}
 	runAblations := func() {
 		dp, err := repro.AblationDynPriority(params, 16, 1)
@@ -175,6 +194,8 @@ func main() {
 		run8()
 	case "9":
 		run9()
+	case "scale":
+		runScale()
 	case "ablations":
 		runAblations()
 	case "all":
@@ -184,7 +205,7 @@ func main() {
 		run9()
 		runAblations()
 	default:
-		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, ablations, all)", *fig)
+		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, scale, ablations, all)", *fig)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

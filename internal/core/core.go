@@ -59,42 +59,60 @@ type Fig7aPoint struct {
 }
 
 // Fig7a measures AC_Init completion for 1..maxACs statically
-// allocated accelerators (trials per point, averaged).
+// allocated accelerators (trials per point, averaged). Every
+// (point, trial) pair is an independent simulation, so all of them
+// fan out over the trial worker pool; the reduction below runs in
+// point-then-trial order, keeping output identical at any
+// parallelism level.
 func Fig7a(p cluster.Params, maxACs, trials int) ([]Fig7aPoint, error) {
+	type trialResult struct {
+		wait, conn time.Duration
+	}
+	results := make([]trialResult, maxACs*trials)
+	err := forEach(len(results), func(i int) error {
+		x := i/trials + 1
+		trial := i % trials
+		var stats dac.Stats
+		var mu sync.Mutex
+		tp := p
+		tp.Seed = uint64(trial + 1)
+		err := cluster.Run(tp, func(c *cluster.Cluster, client *pbs.Client) {
+			id, err := client.Submit(pbs.JobSpec{
+				Name: "fig7a", Owner: "exp", Nodes: 1, PPN: 1, ACPN: x, Walltime: time.Minute,
+				Script: func(env *pbs.JobEnv) {
+					ac, _, err := dac.Init(env)
+					if err != nil {
+						return
+					}
+					defer ac.Finalize()
+					mu.Lock()
+					stats = ac.Stats()
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				return
+			}
+			client.Wait(id)
+		})
+		if err != nil {
+			return fmt.Errorf("core: Fig7a x=%d: %w", x, err)
+		}
+		mu.Lock()
+		results[i] = trialResult{wait: stats.InitWaiting, conn: stats.InitConnect}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig7aPoint
 	for x := 1; x <= maxACs; x++ {
 		var wait, conn metrics.Sample
 		for trial := 0; trial < trials; trial++ {
-			var stats dac.Stats
-			var mu sync.Mutex
-			tp := p
-			tp.Seed = uint64(trial + 1)
-			err := cluster.Run(tp, func(c *cluster.Cluster, client *pbs.Client) {
-				id, err := client.Submit(pbs.JobSpec{
-					Name: "fig7a", Owner: "exp", Nodes: 1, PPN: 1, ACPN: x, Walltime: time.Minute,
-					Script: func(env *pbs.JobEnv) {
-						ac, _, err := dac.Init(env)
-						if err != nil {
-							return
-						}
-						defer ac.Finalize()
-						mu.Lock()
-						stats = ac.Stats()
-						mu.Unlock()
-					},
-				})
-				if err != nil {
-					return
-				}
-				client.Wait(id)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: Fig7a x=%d: %w", x, err)
-			}
-			mu.Lock()
-			wait.Add(stats.InitWaiting)
-			conn.Add(stats.InitConnect)
-			mu.Unlock()
+			r := results[(x-1)*trials+trial]
+			wait.Add(r.wait)
+			conn.Add(r.conn)
 		}
 		out = append(out, Fig7aPoint{
 			Accelerators: x,
@@ -117,48 +135,65 @@ type Fig7bPoint struct {
 }
 
 // Fig7b measures dynamic allocation of 1..maxACs accelerators on an
-// otherwise idle system.
+// otherwise idle system. Trials fan out like Fig7a's.
 func Fig7b(p cluster.Params, maxACs, trials int) ([]Fig7bPoint, error) {
+	type trialResult struct {
+		batch, mpi time.Duration
+		ok         bool
+	}
+	results := make([]trialResult, maxACs*trials)
+	err := forEach(len(results), func(i int) error {
+		y := i/trials + 1
+		trial := i % trials
+		var stats dac.Stats
+		var mu sync.Mutex
+		tp := p
+		tp.Seed = uint64(trial + 1)
+		err := cluster.Run(tp, func(c *cluster.Cluster, client *pbs.Client) {
+			id, err := client.Submit(pbs.JobSpec{
+				Name: "fig7b", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 0, Walltime: time.Minute,
+				Script: func(env *pbs.JobEnv) {
+					ac, _, err := dac.Init(env)
+					if err != nil {
+						return
+					}
+					defer ac.Finalize()
+					clientID, _, err := ac.Get(y)
+					if err == nil {
+						ac.Free(clientID)
+					}
+					mu.Lock()
+					stats = ac.Stats()
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				return
+			}
+			client.Wait(id)
+		})
+		if err != nil {
+			return fmt.Errorf("core: Fig7b y=%d: %w", y, err)
+		}
+		mu.Lock()
+		if len(stats.Gets) == 1 && !stats.Gets[0].Rejected {
+			results[i] = trialResult{batch: stats.Gets[0].Batch, mpi: stats.Gets[0].MPI, ok: true}
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig7bPoint
 	for y := 1; y <= maxACs; y++ {
 		var batch, mpiT metrics.Sample
 		for trial := 0; trial < trials; trial++ {
-			var stats dac.Stats
-			var mu sync.Mutex
-			tp := p
-			tp.Seed = uint64(trial + 1)
-			err := cluster.Run(tp, func(c *cluster.Cluster, client *pbs.Client) {
-				id, err := client.Submit(pbs.JobSpec{
-					Name: "fig7b", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 0, Walltime: time.Minute,
-					Script: func(env *pbs.JobEnv) {
-						ac, _, err := dac.Init(env)
-						if err != nil {
-							return
-						}
-						defer ac.Finalize()
-						clientID, _, err := ac.Get(y)
-						if err == nil {
-							ac.Free(clientID)
-						}
-						mu.Lock()
-						stats = ac.Stats()
-						mu.Unlock()
-					},
-				})
-				if err != nil {
-					return
-				}
-				client.Wait(id)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: Fig7b y=%d: %w", y, err)
+			r := results[(y-1)*trials+trial]
+			if r.ok {
+				batch.Add(r.batch)
+				mpiT.Add(r.mpi)
 			}
-			mu.Lock()
-			if len(stats.Gets) == 1 && !stats.Gets[0].Rejected {
-				batch.Add(stats.Gets[0].Batch)
-				mpiT.Add(stats.Gets[0].MPI)
-			}
-			mu.Unlock()
 		}
 		if batch.N() == 0 {
 			return nil, fmt.Errorf("core: Fig7b y=%d: no successful dynamic request", y)
@@ -190,8 +225,8 @@ func Fig8(p cluster.Params, loads []int, trials int) ([]Fig8Point, error) {
 	p.ComputeNodes = 2
 	p.Accelerators = 2
 	measure := func(load int) (time.Duration, error) {
-		var total metrics.Sample
-		for trial := 0; trial < trials; trial++ {
+		batches := make([]time.Duration, trials)
+		err := forEach(trials, func(trial int) error {
 			var batch time.Duration
 			var mu sync.Mutex
 			s := sim.New()
@@ -251,13 +286,21 @@ func Fig8(p cluster.Params, loads []int, trials int) ([]Fig8Point, error) {
 				client.Wait(id)
 			})
 			if err != nil {
-				return 0, err
+				return err
 			}
 			mu.Lock()
-			if batch > 0 {
-				total.Add(batch)
-			}
+			batches[trial] = batch
 			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var total metrics.Sample
+		for _, b := range batches {
+			if b > 0 {
+				total.Add(b)
+			}
 		}
 		if total.N() == 0 {
 			return 0, fmt.Errorf("core: Fig8 load measurement produced no data")
@@ -301,8 +344,8 @@ type Fig9Point struct {
 func Fig9(p cluster.Params, trials int) ([]Fig9Point, error) {
 	p.ComputeNodes = 3
 	p.Accelerators = 6
-	samples := make([]metrics.Sample, 3)
-	for trial := 0; trial < trials; trial++ {
+	perTrial := make([][3]time.Duration, trials)
+	errRun := forEach(trials, func(trial int) error {
 		batches := make([]time.Duration, 3)
 		var mu sync.Mutex
 		s := sim.New()
@@ -360,15 +403,23 @@ func Fig9(p cluster.Params, trials int) ([]Fig9Point, error) {
 			}
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: Fig9: %w", err)
+			return fmt.Errorf("core: Fig9: %w", err)
 		}
 		mu.Lock()
-		for i, b := range batches {
+		copy(perTrial[trial][:], batches)
+		mu.Unlock()
+		return nil
+	})
+	if errRun != nil {
+		return nil, errRun
+	}
+	samples := make([]metrics.Sample, 3)
+	for trial := 0; trial < trials; trial++ {
+		for i, b := range perTrial[trial] {
 			if b > 0 {
 				samples[i].Add(b)
 			}
 		}
-		mu.Unlock()
 	}
 	out := make([]Fig9Point, 3)
 	for i := range out {

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dac"
+	"repro/internal/metrics"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The scale experiment extends the paper's 8-node evaluation to the
+// cluster sizes its Section VI outlook targets: it grows the testbed
+// to hundreds of compute nodes and thousands of network-attached
+// accelerators, replays an SWF batch workload through the extended
+// TORQUE/Maui stack, and reports how the scheduler cycle time and the
+// latency of a dynamic request evolve with cluster size.
+
+// ScalePoint is one row of the scale table: a cluster of
+// ComputeNodes/Accelerators working through Jobs trace jobs.
+type ScalePoint struct {
+	ComputeNodes int
+	Accelerators int
+	Jobs         int
+	CycleMean    time.Duration // mean virtual scheduler cycle time
+	CycleMax     time.Duration // longest virtual scheduler cycle
+	DynLatency   time.Duration // dynamic request under full load (batch + MPI)
+	Makespan     time.Duration // virtual time to drain the trace
+	Wall         time.Duration // host wall-clock for the whole run
+}
+
+// ScaleSizes is the default compute-node axis; with ACsPerCN and
+// JobsPerCN the largest point is 256 nodes, 2048 accelerators, and
+// 2048 trace jobs.
+var ScaleSizes = []int{8, 32, 64, 128, 256}
+
+// ACsPerCN and JobsPerCN set how accelerators and workload grow with
+// the compute-node count.
+const (
+	ACsPerCN  = 8
+	JobsPerCN = 8
+)
+
+// scaleWorkloadSWF synthesizes a Standard Workload Format trace for a
+// cluster of n compute nodes: jobs arrive over a fixed submission
+// window with runtimes, widths, and estimates drawn from a
+// deterministic LCG, so every run of the experiment sees the same
+// trace. Emitting SWF text and parsing it back through ParseSWF
+// exercises the same import path a production trace would use.
+func scaleWorkloadSWF(n, jobs, coresPerNode int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; synthetic scale workload: %d jobs for %d compute nodes\n", jobs, n)
+	state := uint64(n)*2654435761 + 12345
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	window := 60 // submission window in seconds
+	for j := 0; j < jobs; j++ {
+		submit := j * window / jobs
+		runSec := 1 + next(8)                 // 1..8 s
+		procs := 1 + next(2*coresPerNode)     // up to two nodes wide
+		reqSec := runSec + 1 + next(2*runSec) // loose estimate, room for backfill
+		uid := next(16)
+		// 18 SWF fields: job, submit, wait, run, procs-used, cpu, mem,
+		// procs-req, time-req, mem-req, status, uid, gid, exe, queue,
+		// partition, prev-job, think-time.
+		fmt.Fprintf(&b, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			j+1, submit, runSec, procs, procs, reqSec, uid)
+	}
+	return b.String()
+}
+
+// scaleParams derives a cheap cost model from the calibrated one: the
+// paper-calibrated per-job and per-cycle costs are sized for a 7-node
+// testbed and would dominate virtual time at 256 nodes, so the scale
+// run shrinks them while keeping every mechanism (priority, backfill,
+// dynamic top-priority) active.
+func scaleParams(p cluster.Params, n int) cluster.Params {
+	tp := p
+	tp.ComputeNodes = n
+	tp.Accelerators = n * ACsPerCN
+	tp.Seed = uint64(n)
+	tp.Maui.CycleInterval = 250 * time.Millisecond
+	tp.Maui.CycleOverhead = 10 * time.Millisecond
+	tp.Maui.PerJobCost = 200 * time.Microsecond
+	tp.Maui.DynPerReqCost = time.Millisecond
+	tp.Server.Processing = time.Millisecond
+	return tp
+}
+
+// Scale runs the scale experiment for the given compute-node counts
+// (ScaleSizes when nil). Each point is an independent simulation, so
+// the points fan out over the trial worker pool; results are reported
+// in input order.
+func Scale(p cluster.Params, sizes []int) ([]ScalePoint, error) {
+	if len(sizes) == 0 {
+		sizes = ScaleSizes
+	}
+	out := make([]ScalePoint, len(sizes))
+	err := forEach(len(sizes), func(idx int) error {
+		n := sizes[idx]
+		if n < 1 {
+			return fmt.Errorf("core: Scale size %d", n)
+		}
+		tp := scaleParams(p, n)
+		jobs := n * JobsPerCN
+		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+		if err != nil {
+			return fmt.Errorf("core: Scale n=%d: %w", n, err)
+		}
+
+		wallStart := time.Now()
+		s := sim.New()
+		c := cluster.New(s, tp)
+		var pt ScalePoint
+		var ptMu sync.Mutex
+		probeReady := newSignal(s, "scale-ready")
+		goahead := newSignal(s, "scale-go")
+		runErr := s.Run(func() {
+			defer c.Close()
+			c.Start()
+			client := c.Client("front")
+
+			// The probe job starts on the idle cluster and holds one
+			// core; once the trace is fully submitted it issues one
+			// dynamic request into the loaded scheduler.
+			probeID, err := client.Submit(pbs.JobSpec{
+				Name: "scale-probe", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 0,
+				Walltime: time.Hour,
+				Script: func(env *pbs.JobEnv) {
+					ac, _, err := dac.Init(env)
+					if err != nil {
+						return
+					}
+					defer ac.Finalize()
+					probeReady.fire()
+					goahead.wait()
+					clientID, _, err := ac.Get(1)
+					if err == nil {
+						ac.Free(clientID)
+					}
+					st := ac.Stats()
+					ptMu.Lock()
+					if len(st.Gets) > 0 && !st.Gets[0].Rejected {
+						pt.DynLatency = st.Gets[0].Batch + st.Gets[0].MPI
+					}
+					ptMu.Unlock()
+				},
+			})
+			if err != nil {
+				return
+			}
+			probeReady.wait()
+
+			ids, err := workload.Replay(s, client, entries)
+			if err != nil {
+				return
+			}
+			goahead.fire()
+			for _, id := range ids {
+				client.Wait(id)
+			}
+			client.Wait(probeID)
+			ptMu.Lock()
+			pt.Makespan = s.Now()
+			if c.Sched != nil {
+				st := c.Sched.Stats()
+				pt.CycleMean = st.CycleTimeMean()
+				pt.CycleMax = st.CycleTimeMax
+			}
+			ptMu.Unlock()
+		})
+		if runErr != nil {
+			return fmt.Errorf("core: Scale n=%d: %w", n, runErr)
+		}
+		pt.ComputeNodes = n
+		pt.Accelerators = tp.Accelerators
+		pt.Jobs = len(entries)
+		pt.Wall = time.Since(wallStart)
+		out[idx] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScaleTable renders the scale series in the style of the paper's
+// measurement tables.
+func ScaleTable(points []ScalePoint) *metrics.Table {
+	t := &metrics.Table{
+		Title: "Scale: scheduler cycle time and dynamic-request latency vs cluster size",
+		Headers: []string{"compute_nodes", "accelerators", "jobs",
+			"cycle_mean_ms", "cycle_max_ms", "dyn_latency_ms", "makespan_ms", "wall"},
+	}
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Accelerators), fmt.Sprint(pt.Jobs),
+			metrics.Ms(pt.CycleMean), metrics.Ms(pt.CycleMax), metrics.Ms(pt.DynLatency),
+			metrics.Ms(pt.Makespan), pt.Wall.Round(time.Millisecond).String(),
+		)
+	}
+	return t
+}

@@ -76,13 +76,28 @@ func DefaultParams() Params {
 	}
 }
 
-// Stats summarizes scheduler activity.
+// Stats summarizes scheduler activity. The cycle-time fields are
+// virtual durations of full scheduling iterations (fetch through
+// placement) — the figure the -fig scale experiment tracks against
+// cluster size.
 type Stats struct {
 	Cycles      int64
 	JobsPlaced  int64
 	DynGranted  int64
 	DynRejected int64
 	Backfilled  int64
+
+	CycleTimeTotal time.Duration // sum of per-cycle virtual durations
+	CycleTimeMax   time.Duration // longest single cycle
+}
+
+// CycleTimeMean reports the average virtual duration of a scheduling
+// cycle (zero before the first cycle completes).
+func (st Stats) CycleTimeMean() time.Duration {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return st.CycleTimeTotal / time.Duration(st.Cycles)
 }
 
 // Scheduler is the Maui daemon.
@@ -176,123 +191,28 @@ func (sc *Scheduler) fetchInfo() (pbs.SchedInfoResp, error) {
 	return m.Payload.(pbs.SchedInfoResp), nil
 }
 
-// pools tracks the cycle-local view of free resources.
-type pools struct {
-	freeACs []string
-	cnFree  map[string]int      // compute node -> free cores
-	cnJobs  map[string][]string // compute node -> jobs using it
-	cnOrder []string
-}
-
-func newPools(nodes []pbs.NodeInfo) *pools {
-	p := &pools{cnFree: make(map[string]int), cnJobs: make(map[string][]string)}
-	for _, n := range nodes {
-		if n.Down {
-			continue // failed nodes never receive work
-		}
-		switch n.Type {
-		case pbs.AcceleratorNode:
-			if n.Free() {
-				p.freeACs = append(p.freeACs, n.Name)
-			}
-		case pbs.ComputeNode:
-			p.cnFree[n.Name] = n.FreeCores()
-			p.cnJobs[n.Name] = n.Jobs
-			p.cnOrder = append(p.cnOrder, n.Name)
-		}
-	}
-	return p
-}
-
-// takeACs removes and returns up to n free accelerators.
-func (p *pools) takeACs(n int) []string {
-	if n > len(p.freeACs) {
-		return nil
-	}
-	out := append([]string(nil), p.freeACs[:n]...)
-	p.freeACs = p.freeACs[n:]
-	return out
-}
-
-// takeCNs picks count compute nodes with ppn free cores each that the
-// given job does not already occupy (malleable extension). It returns
-// nil without mutating the pools when the demand cannot be met.
-func (p *pools) takeCNs(count, ppn int, jobID string) []string {
-	var chosen []string
-	for _, cn := range p.cnOrder {
-		if p.cnFree[cn] < ppn || ppn <= 0 {
-			continue
-		}
-		used := false
-		for _, j := range p.cnJobs[cn] {
-			if j == jobID {
-				used = true
-				break
-			}
-		}
-		if used {
-			continue
-		}
-		chosen = append(chosen, cn)
-		if len(chosen) == count {
-			break
-		}
-	}
-	if len(chosen) < count {
-		return nil
-	}
-	for _, cn := range chosen {
-		p.cnFree[cn] -= ppn
-		p.cnJobs[cn] = append(p.cnJobs[cn], jobID)
-	}
-	return chosen
-}
-
-// fit tries to place a job (k compute nodes with ppn cores each plus
-// k*acpn accelerators); it returns the chosen hosts without mutating
-// the pools when placement fails.
-func (p *pools) fit(spec pbs.JobSpec, jobID string) (hosts []string, acc map[string][]string, ok bool) {
-	var chosen []string
-	for _, cn := range p.cnOrder {
-		if p.cnFree[cn] >= spec.PPN && spec.PPN >= 0 {
-			if spec.PPN == 0 && p.cnFree[cn] <= 0 {
-				continue
-			}
-			chosen = append(chosen, cn)
-			if len(chosen) == spec.Nodes {
-				break
-			}
-		}
-	}
-	if len(chosen) < spec.Nodes {
-		return nil, nil, false
-	}
-	need := spec.Nodes * spec.ACPN
-	if need > len(p.freeACs) {
-		return nil, nil, false
-	}
-	acc = make(map[string][]string, spec.Nodes)
-	idx := 0
-	for _, cn := range chosen {
-		if spec.ACPN > 0 {
-			acc[cn] = append([]string(nil), p.freeACs[idx:idx+spec.ACPN]...)
-			idx += spec.ACPN
-		}
-	}
-	// Commit.
-	p.freeACs = p.freeACs[need:]
-	for _, cn := range chosen {
-		p.cnFree[cn] -= spec.PPN
-		p.cnJobs[cn] = append(p.cnJobs[cn], jobID)
-	}
-	return chosen, acc, true
-}
-
 // runCycle is one scheduling iteration. It returns false when the
-// fabric has closed. Each phase (fetch, pool build, dyn fit, static
-// fit) runs under its own child span of sched.cycle, giving the
-// per-phase timing the paper's Figure 8 analysis needs.
+// fabric has closed.
 func (sc *Scheduler) runCycle() bool {
+	start := sc.sim.Now()
+	ok := sc.cycle()
+	if ok {
+		d := sc.sim.Now() - start
+		sc.mu.Lock()
+		sc.stats.CycleTimeTotal += d
+		if d > sc.stats.CycleTimeMax {
+			sc.stats.CycleTimeMax = d
+		}
+		sc.mu.Unlock()
+	}
+	return ok
+}
+
+// cycle does the work of one scheduling iteration. Each phase (fetch,
+// pool build, dyn fit, static fit) runs under its own child span of
+// sched.cycle, giving the per-phase timing the paper's Figure 8
+// analysis needs.
+func (sc *Scheduler) cycle() bool {
 	cyc := sc.sim.Tracer().Start("maui", "sched.cycle")
 	defer cyc.End()
 
@@ -385,9 +305,29 @@ func (sc *Scheduler) priority(j pbs.JobInfo) float64 {
 // optionally backfilling behind a blocked head.
 func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools, phase *trace.Span) {
 	queued := append([]pbs.JobInfo(nil), info.Queued...)
-	sort.SliceStable(queued, func(a, b int) bool {
-		return sc.priority(queued[a]) > sc.priority(queued[b])
-	})
+	// Compute each priority once up front: virtual time stands still
+	// during the sort, so the values cannot change, and a comparator
+	// that takes the scheduler lock costs O(n log n) mutex round
+	// trips on the long queues of large clusters.
+	prio := make([]float64, len(queued))
+	now := sc.sim.Now()
+	sc.mu.Lock()
+	for i := range queued {
+		j := &queued[i]
+		wait := (now - j.SubmittedAt).Seconds()
+		prio[i] = float64(j.Spec.Priority) + sc.params.QueueTimeWeight*wait - sc.params.FairshareWeight*sc.usage[j.Spec.Owner]
+	}
+	sc.mu.Unlock()
+	order := make([]int, len(queued))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return prio[order[a]] > prio[order[b]] })
+	reordered := make([]pbs.JobInfo, len(queued))
+	for i, idx := range order {
+		reordered[i] = queued[idx]
+	}
+	queued = reordered
 	var shadow time.Duration = -1 // earliest start estimate of the blocked head
 	for _, j := range queued {
 		sc.sim.Sleep(sc.params.PerJobCost)

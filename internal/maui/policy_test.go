@@ -302,4 +302,13 @@ func TestSchedulerStatsCycles(t *testing.T) {
 	if st.Cycles == 0 || st.JobsPlaced != 1 {
 		t.Errorf("stats = %+v", st)
 	}
+	if st.CycleTimeTotal <= 0 || st.CycleTimeMax <= 0 {
+		t.Errorf("cycle timing not recorded: %+v", st)
+	}
+	if mean := st.CycleTimeMean(); mean <= 0 || mean > st.CycleTimeMax {
+		t.Errorf("CycleTimeMean = %v (max %v)", mean, st.CycleTimeMax)
+	}
+	if (maui.Stats{}).CycleTimeMean() != 0 {
+		t.Error("CycleTimeMean of zero stats should be 0")
+	}
 }

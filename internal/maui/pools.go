@@ -1,0 +1,184 @@
+package maui
+
+import (
+	"math/bits"
+
+	"repro/internal/pbs"
+)
+
+// pools tracks the cycle-local view of free resources.
+//
+// Placement semantics are first-fit in node-database order, as the
+// original Maui walk did — but the walk itself is indexed: for every
+// possible per-node core demand c, levels[c-1] is a bitset of the
+// compute nodes with at least c free cores. A fit for k nodes at ppn
+// cores therefore skips every too-full node in O(1) per 64 nodes
+// instead of examining each one, which is what keeps scheduling
+// cycles sub-quadratic on multi-hundred-node clusters (the -fig
+// scale experiment measures exactly this).
+type pools struct {
+	freeACs []string
+
+	cns    []cnState      // compute nodes in node-database order
+	index  map[string]int // name -> index in cns
+	levels [][]uint64     // levels[c] = bitset of cns with free >= c+1
+}
+
+type cnState struct {
+	name string
+	free int
+	jobs []string
+}
+
+func newPools(nodes []pbs.NodeInfo) *pools {
+	p := &pools{index: make(map[string]int)}
+	maxCores := 0
+	for _, n := range nodes {
+		if n.Down {
+			continue // failed nodes never receive work
+		}
+		switch n.Type {
+		case pbs.AcceleratorNode:
+			if n.Free() {
+				p.freeACs = append(p.freeACs, n.Name)
+			}
+		case pbs.ComputeNode:
+			p.index[n.Name] = len(p.cns)
+			p.cns = append(p.cns, cnState{name: n.Name, free: n.FreeCores(), jobs: n.Jobs})
+			if n.Cores > maxCores {
+				maxCores = n.Cores
+			}
+		}
+	}
+	words := (len(p.cns) + 63) / 64
+	p.levels = make([][]uint64, maxCores)
+	for c := range p.levels {
+		p.levels[c] = make([]uint64, words)
+	}
+	for i, cn := range p.cns {
+		for c := 0; c < cn.free; c++ {
+			p.levels[c][i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return p
+}
+
+// freeCores reports the free cores of a compute node (for tests).
+func (p *pools) freeCores(name string) int {
+	i, ok := p.index[name]
+	if !ok {
+		return 0
+	}
+	return p.cns[i].free
+}
+
+// eachWithFree calls fn with the index of every compute node that has
+// at least max(ppn, 1) free cores, in node-database order, until fn
+// returns false. fn must not commit allocations mid-iteration;
+// callers collect candidates first and commit after.
+func (p *pools) eachWithFree(ppn int, fn func(i int) bool) {
+	lvl := ppn - 1
+	if lvl < 0 {
+		lvl = 0
+	}
+	if lvl >= len(p.levels) {
+		return
+	}
+	for wi, w := range p.levels[lvl] {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			if !fn(wi<<6 + b) {
+				return
+			}
+		}
+	}
+}
+
+// commit charges ppn cores on node i to jobID and updates the level
+// index.
+func (p *pools) commit(i, ppn int, jobID string) {
+	cn := &p.cns[i]
+	oldFree := cn.free
+	cn.free -= ppn
+	cn.jobs = append(cn.jobs, jobID)
+	for c := cn.free; c < oldFree; c++ {
+		p.levels[c][i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// takeACs removes and returns up to n free accelerators.
+func (p *pools) takeACs(n int) []string {
+	if n > len(p.freeACs) {
+		return nil
+	}
+	out := append([]string(nil), p.freeACs[:n]...)
+	p.freeACs = p.freeACs[n:]
+	return out
+}
+
+// takeCNs picks count compute nodes with ppn free cores each that the
+// given job does not already occupy (malleable extension). It returns
+// nil without mutating the pools when the demand cannot be met.
+func (p *pools) takeCNs(count, ppn int, jobID string) []string {
+	if ppn <= 0 {
+		return nil
+	}
+	var chosen []int
+	p.eachWithFree(ppn, func(i int) bool {
+		for _, j := range p.cns[i].jobs {
+			if j == jobID {
+				return true // job already occupies this node; keep looking
+			}
+		}
+		chosen = append(chosen, i)
+		return len(chosen) < count
+	})
+	if len(chosen) < count {
+		return nil
+	}
+	out := make([]string, 0, count)
+	for _, i := range chosen {
+		p.commit(i, ppn, jobID)
+		out = append(out, p.cns[i].name)
+	}
+	return out
+}
+
+// fit tries to place a job (k compute nodes with ppn cores each plus
+// k*acpn accelerators); it returns the chosen hosts without mutating
+// the pools when placement fails.
+func (p *pools) fit(spec pbs.JobSpec, jobID string) (hosts []string, acc map[string][]string, ok bool) {
+	if spec.PPN < 0 {
+		return nil, nil, false
+	}
+	var chosen []int
+	p.eachWithFree(spec.PPN, func(i int) bool {
+		chosen = append(chosen, i)
+		return len(chosen) < spec.Nodes
+	})
+	if len(chosen) < spec.Nodes {
+		return nil, nil, false
+	}
+	need := spec.Nodes * spec.ACPN
+	if need > len(p.freeACs) {
+		return nil, nil, false
+	}
+	hosts = make([]string, 0, spec.Nodes)
+	acc = make(map[string][]string, spec.Nodes)
+	idx := 0
+	for _, i := range chosen {
+		name := p.cns[i].name
+		hosts = append(hosts, name)
+		if spec.ACPN > 0 {
+			acc[name] = append([]string(nil), p.freeACs[idx:idx+spec.ACPN]...)
+			idx += spec.ACPN
+		}
+	}
+	// Commit.
+	p.freeACs = p.freeACs[need:]
+	for _, i := range chosen {
+		p.commit(i, spec.PPN, jobID)
+	}
+	return hosts, acc, true
+}

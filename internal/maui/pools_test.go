@@ -26,8 +26,8 @@ func TestPoolsFitSingleNode(t *testing.T) {
 	if !ok || len(hosts) != 1 || len(acc) != 0 {
 		t.Fatalf("fit = %v %v %v", hosts, acc, ok)
 	}
-	if p.cnFree[hosts[0]] != 4 {
-		t.Fatalf("free cores = %d, want 4", p.cnFree[hosts[0]])
+	if p.freeCores(hosts[0]) != 4 {
+		t.Fatalf("free cores = %d, want 4", p.freeCores(hosts[0]))
 	}
 }
 
@@ -58,8 +58,8 @@ func TestPoolsFitInsufficientComputeNodes(t *testing.T) {
 		t.Fatal("fit should fail with 1 CN for a 2-node job")
 	}
 	// Failure must not consume resources.
-	if p.cnFree["cn0"] != 8 {
-		t.Fatalf("failed fit consumed cores: %d", p.cnFree["cn0"])
+	if p.freeCores("cn0") != 8 {
+		t.Fatalf("failed fit consumed cores: %d", p.freeCores("cn0"))
 	}
 }
 
@@ -68,7 +68,7 @@ func TestPoolsFitInsufficientAccelerators(t *testing.T) {
 	if _, _, ok := p.fit(pbs.JobSpec{Nodes: 1, PPN: 1, ACPN: 3}, "tj"); ok {
 		t.Fatal("fit should fail: 3 ACs requested, 2 free")
 	}
-	if len(p.freeACs) != 2 || p.cnFree["cn0"] != 8 {
+	if len(p.freeACs) != 2 || p.freeCores("cn0") != 8 {
 		t.Fatal("failed fit consumed resources")
 	}
 }
@@ -129,8 +129,8 @@ func TestTakeCNsMalleable(t *testing.T) {
 			t.Fatalf("granted the job's own node: %v", got)
 		}
 	}
-	if p.cnFree["cn1"] != 4 || p.cnFree["cn2"] != 4 {
-		t.Fatalf("cores not committed: %v", p.cnFree)
+	if p.freeCores("cn1") != 4 || p.freeCores("cn2") != 4 {
+		t.Fatalf("cores not committed: %d/%d", p.freeCores("cn1"), p.freeCores("cn2"))
 	}
 }
 
@@ -139,7 +139,7 @@ func TestTakeCNsInsufficient(t *testing.T) {
 	if got := p.takeCNs(3, 1, "j"); got != nil {
 		t.Fatalf("takeCNs should fail, got %v", got)
 	}
-	if p.cnFree["cn0"] != 8 || p.cnFree["cn1"] != 8 {
+	if p.freeCores("cn0") != 8 || p.freeCores("cn1") != 8 {
 		t.Fatal("failed takeCNs consumed cores")
 	}
 	if got := p.takeCNs(1, 9, "j"); got != nil {

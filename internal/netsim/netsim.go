@@ -93,14 +93,24 @@ type Network struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
-	links     map[[2]string]LinkParams
+	pairs     map[[2]string]*pairState
 	down      map[string]bool
 	downHosts map[string]bool
+	anyDown   bool // fast-path guard: no endpoint or host is down
 	rng       *sim.RNG
-	lastDue   map[[2]string]time.Duration // per-pair FIFO floor under jitter
 	trace     func(*Message)
 	closed    bool
 	stats     Stats
+}
+
+// pairState folds everything the per-message send path needs for one
+// directed sender/receiver pair into a single map entry: the link
+// parameters in effect and the FIFO floor that keeps jittered (or
+// differently sized) messages from overtaking earlier ones.
+type pairState struct {
+	p        LinkParams
+	override bool // p was set explicitly via SetLink
+	lastDue  time.Duration
 }
 
 // New creates a network over the given simulation with def as the
@@ -110,11 +120,10 @@ func New(s *sim.Simulation, def LinkParams) *Network {
 		sim:       s,
 		def:       def,
 		endpoints: make(map[string]*Endpoint),
-		links:     make(map[[2]string]LinkParams),
+		pairs:     make(map[[2]string]*pairState),
 		down:      make(map[string]bool),
 		downHosts: make(map[string]bool),
 		rng:       sim.NewRNG(1),
-		lastDue:   make(map[[2]string]time.Duration),
 	}
 }
 
@@ -159,11 +168,25 @@ func (n *Network) Endpoint(name string) *Endpoint {
 	return e
 }
 
+// pairLocked returns (creating if needed) the state of the directed
+// pair from -> to. Callers hold n.mu.
+func (n *Network) pairLocked(from, to string) *pairState {
+	key := [2]string{from, to}
+	ps, ok := n.pairs[key]
+	if !ok {
+		ps = &pairState{p: n.def}
+		n.pairs[key] = ps
+	}
+	return ps
+}
+
 // SetLink overrides parameters for the directed link from -> to.
 func (n *Network) SetLink(from, to string, p LinkParams) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.links[[2]string{from, to}] = p
+	ps := n.pairLocked(from, to)
+	ps.p = p
+	ps.override = true
 }
 
 // LinkParams reports the parameters in effect for the directed link
@@ -171,8 +194,8 @@ func (n *Network) SetLink(from, to string, p LinkParams) {
 func (n *Network) LinkParams(from, to string) LinkParams {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if p, ok := n.links[[2]string{from, to}]; ok {
-		return p
+	if ps, ok := n.pairs[[2]string{from, to}]; ok && ps.override {
+		return ps.p
 	}
 	return n.def
 }
@@ -184,6 +207,7 @@ func (n *Network) SetDown(name string, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.down[name] = down
+	n.refreshAnyDownLocked()
 }
 
 // HostOf extracts the host component from an endpoint name. By
@@ -204,11 +228,35 @@ func (n *Network) SetHostDown(host string, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.downHosts[host] = down
+	n.refreshAnyDownLocked()
+}
+
+// refreshAnyDownLocked recomputes the anyDown fast-path flag. Failure
+// injection is rare, so the per-message reachability check should cost
+// one boolean read on a healthy fabric instead of two map lookups plus
+// a HostOf split. Callers hold n.mu.
+func (n *Network) refreshAnyDownLocked() {
+	n.anyDown = false
+	for _, d := range n.down {
+		if d {
+			n.anyDown = true
+			return
+		}
+	}
+	for _, d := range n.downHosts {
+		if d {
+			n.anyDown = true
+			return
+		}
+	}
 }
 
 // unreachableLocked reports whether an endpoint is currently cut off.
 // Callers hold n.mu.
 func (n *Network) unreachableLocked(endpoint string) bool {
+	if !n.anyDown {
+		return false
+	}
 	return n.down[endpoint] || n.downHosts[HostOf(endpoint)]
 }
 
@@ -256,8 +304,14 @@ type Endpoint struct {
 	name string
 	gate *sim.Gate
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// queue[head:] holds the undelivered messages. Dequeuing from the
+	// front (the overwhelmingly common case: Recv with no matcher, or
+	// a matcher that accepts the oldest message) advances head instead
+	// of shifting the slice; the storage is reclaimed when the queue
+	// drains or the dead prefix outgrows the live tail.
 	queue  []*Message
+	head   int
 	closed bool
 }
 
@@ -296,24 +350,20 @@ func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) e
 		n.mu.Unlock()
 		return nil // dropped in flight; sender cannot tell
 	}
-	var p LinkParams
-	if lp, ok := n.links[[2]string{e.name, to}]; ok {
-		p = lp
-	} else {
-		p = n.def
-	}
+	ps := n.pairLocked(e.name, to)
 	n.stats.MessagesSent++
 	n.stats.BytesSent += int64(size)
-	delay := n.jitterLocked(p.TransferTime(size, pipelined), p)
-	// Jitter must not let a later message overtake an earlier one on
-	// the same pair (MPI's non-overtaking guarantee).
-	pair := [2]string{e.name, to}
-	due := n.sim.Now() + delay
-	if floor := n.lastDue[pair]; due < floor {
-		due = floor
-		delay = due - n.sim.Now()
+	now := n.sim.Now()
+	delay := n.jitterLocked(ps.p.TransferTime(size, pipelined), ps.p)
+	// A later message must not overtake an earlier one on the same
+	// pair (MPI's non-overtaking guarantee) — jitter or a smaller
+	// payload could otherwise reorder deliveries.
+	due := now + delay
+	if due < ps.lastDue {
+		due = ps.lastDue
+		delay = due - now
 	}
-	n.lastDue[pair] = due
+	ps.lastDue = due
 	n.mu.Unlock()
 
 	msg := &Message{
@@ -322,7 +372,7 @@ func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) e
 		Tag:     tag,
 		Payload: payload,
 		Size:    size,
-		Sent:    n.sim.Now(),
+		Sent:    now,
 	}
 	n.sim.After(delay, func() {
 		// Re-check reachability at delivery time so a partition that
@@ -334,14 +384,12 @@ func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) e
 			n.stats.MessagesSent--
 			n.stats.BytesSent -= int64(msg.Size)
 		}
+		tr := n.trace
 		n.mu.Unlock()
 		if drop {
 			return
 		}
 		msg.Delivered = n.sim.Now()
-		n.mu.Lock()
-		tr := n.trace
-		n.mu.Unlock()
 		if tr != nil {
 			tr(msg)
 		}
@@ -413,9 +461,10 @@ func (e *Endpoint) recv(match func(*Message) bool, timeout time.Duration) (*Mess
 		if e.closed {
 			return nil, ErrClosed
 		}
-		for i, m := range e.queue {
+		for i := e.head; i < len(e.queue); i++ {
+			m := e.queue[i]
 			if match == nil || match(m) {
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				e.removeLocked(i)
 				return m, nil
 			}
 		}
@@ -430,11 +479,35 @@ func (e *Endpoint) recv(match func(*Message) bool, timeout time.Duration) (*Mess
 	}
 }
 
+// removeLocked deletes the message at index i, keeping FIFO order for
+// the rest. Callers hold e.mu.
+func (e *Endpoint) removeLocked(i int) {
+	if i == e.head {
+		e.queue[i] = nil
+		e.head++
+	} else {
+		copy(e.queue[i:], e.queue[i+1:])
+		e.queue[len(e.queue)-1] = nil
+		e.queue = e.queue[:len(e.queue)-1]
+	}
+	if e.head == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.head = 0
+	} else if e.head > 64 && e.head > len(e.queue)/2 {
+		n := copy(e.queue, e.queue[e.head:])
+		for j := n; j < len(e.queue); j++ {
+			e.queue[j] = nil
+		}
+		e.queue = e.queue[:n]
+		e.head = 0
+	}
+}
+
 // Pending reports how many messages are queued.
 func (e *Endpoint) Pending() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.queue)
+	return len(e.queue) - e.head
 }
 
 // Close unblocks all receivers with ErrClosed and discards queued
@@ -447,6 +520,7 @@ func (e *Endpoint) Close() {
 	}
 	e.closed = true
 	e.queue = nil
+	e.head = 0
 	e.mu.Unlock()
 	e.gate.Broadcast()
 }

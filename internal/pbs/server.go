@@ -47,15 +47,22 @@ type Server struct {
 	nextDyn    int
 	jobs       map[string]*serverJob
 	order      []string
-	nodes      map[string]*serverNode
-	nodeOrder  []string
-	dynQ       []*DynRecord
-	dynReply   map[int]dynReplyTo // server dyn id -> client reply route
-	dynBusy    bool
-	waiters    map[string][]waiter
-	lastSeen   map[string]time.Duration
-	acct       []AccountingRecord
-	errs       []string
+	// active holds the submission-ordered ids of jobs that may still
+	// concern the scheduler (queued, held, or running). Terminal jobs
+	// are compacted away lazily during handleSchedInfo, so a cycle's
+	// cost follows the live queue, not the full submission history —
+	// on a trace replay of thousands of jobs the difference is the
+	// scheduler staying O(active) instead of O(everything ever run).
+	active    []string
+	nodes     map[string]*serverNode
+	nodeOrder []string
+	dynQ      []*DynRecord
+	dynReply  map[int]dynReplyTo // server dyn id -> client reply route
+	dynBusy   bool
+	waiters   map[string][]waiter
+	lastSeen  map[string]time.Duration
+	acct      []AccountingRecord
+	errs      []string
 }
 
 // dynReplyTo remembers where and with which client-side request id a
@@ -245,6 +252,7 @@ func (s *Server) handleSubmit(req SubmitReq) {
 		SubmittedAt: s.sim.Now(),
 	}}
 	s.order = append(s.order, id)
+	s.active = append(s.active, id)
 	s.mu.Unlock()
 	sp.Annotate("job", id)
 	s.account(AcctQueued, id, "owner=%s %s", req.Spec.Owner, FormatResourceRequest(req.Spec))
@@ -512,10 +520,15 @@ func (s *Server) handleDynFree(req DynFreeReq) {
 func (s *Server) handleSchedInfo(req SchedInfoReq) {
 	s.mu.Lock()
 	resp := SchedInfoResp{ReqID: req.ReqID}
-	for _, id := range s.order {
+	// Walk the active index, compacting terminal jobs in place so the
+	// next cycle never revisits them.
+	w := 0
+	for _, id := range s.active {
 		j := s.jobs[id]
 		switch j.info.State {
 		case JobQueued:
+			s.active[w] = id
+			w++
 			if j.info.Held {
 				continue // qhold: invisible to the scheduler
 			}
@@ -525,9 +538,13 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 				resp.Running = append(resp.Running, cloneInfo(j.info))
 			}
 		case JobRunning:
+			s.active[w] = id
+			w++
 			resp.Running = append(resp.Running, cloneInfo(j.info))
 		}
 	}
+	clear(s.active[w:])
+	s.active = s.active[:w]
 	for _, rec := range s.dynQ {
 		if rec.State == DynScheduling {
 			resp.Dyn = append(resp.Dyn, SchedDynView{
@@ -780,13 +797,21 @@ func (s *Server) handleJobDone(jobID string) {
 	s.kickScheduler("jobdone")
 }
 
-// freeJobLocked releases every node held by the job. Callers hold
-// s.mu.
+// freeJobLocked releases every node held by the job. The job's own
+// host lists (static hosts, static accelerators, live dynamic sets)
+// name every node it can occupy, so the release touches only those
+// instead of sweeping the whole node database. Callers hold s.mu.
 func (s *Server) freeJobLocked(jobID string) {
-	for _, n := range s.nodes {
-		if _, ok := n.usedBy[jobID]; ok {
-			delete(n.usedBy, jobID)
-			s.refreshLocked(n)
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return
+	}
+	for _, h := range jobHosts(j.info) {
+		if n, ok := s.nodes[h]; ok {
+			if _, held := n.usedBy[jobID]; held {
+				delete(n.usedBy, jobID)
+				s.refreshLocked(n)
+			}
 		}
 	}
 }
@@ -842,16 +867,28 @@ func (s *Server) nodeViewLocked() []NodeInfo {
 	return out
 }
 
+// cloneInfo deep-copies a job view. Empty maps clone to nil: the
+// scheduler fetches every queued job each cycle, and a queued job has
+// no hosts or dynamic sets yet, so allocating empty maps per job per
+// cycle would dominate the allocation profile of large replays.
 func cloneInfo(in JobInfo) JobInfo {
 	out := in
 	out.Hosts = append([]string(nil), in.Hosts...)
-	out.AccHosts = make(map[string][]string, len(in.AccHosts))
-	for k, v := range in.AccHosts {
-		out.AccHosts[k] = append([]string(nil), v...)
+	if len(in.AccHosts) > 0 {
+		out.AccHosts = make(map[string][]string, len(in.AccHosts))
+		for k, v := range in.AccHosts {
+			out.AccHosts[k] = append([]string(nil), v...)
+		}
+	} else {
+		out.AccHosts = nil
 	}
-	out.DynSets = make(map[int][]string, len(in.DynSets))
-	for k, v := range in.DynSets {
-		out.DynSets[k] = append([]string(nil), v...)
+	if len(in.DynSets) > 0 {
+		out.DynSets = make(map[int][]string, len(in.DynSets))
+		for k, v := range in.DynSets {
+			out.DynSets[k] = append([]string(nil), v...)
+		}
+	} else {
+		out.DynSets = nil
 	}
 	out.DynRecords = append([]DynRecord(nil), in.DynRecords...)
 	return out

@@ -96,7 +96,22 @@ func (s *Server) Restore(snap Snapshot) error {
 	s.nextDyn = snap.NextDyn
 	s.order = append([]string(nil), snap.Order...)
 	for _, info := range snap.Jobs {
-		s.jobs[info.ID] = &serverJob{info: cloneInfo(info)}
+		live := cloneInfo(info)
+		// The live server mutates these maps (cloneInfo leaves empty
+		// ones nil for the read-only response paths).
+		if live.AccHosts == nil {
+			live.AccHosts = make(map[string][]string)
+		}
+		if live.DynSets == nil {
+			live.DynSets = make(map[int][]string)
+		}
+		s.jobs[info.ID] = &serverJob{info: live}
+	}
+	for _, id := range s.order {
+		st := s.jobs[id].info.State
+		if st == JobQueued || st == JobRunning {
+			s.active = append(s.active, id)
+		}
 	}
 	now := s.sim.Now()
 	for _, info := range snap.Nodes {

@@ -50,9 +50,13 @@ var ErrDeadline = errors.New("sim: virtual-time deadline exceeded")
 // Simulation owns a virtual clock and the set of actors advancing it.
 // The zero value is not usable; call New.
 type Simulation struct {
-	mu       sync.Mutex
-	cond     *sync.Cond // signaled when running drops to zero or main finishes
-	now      time.Duration
+	mu   sync.Mutex
+	cond *sync.Cond // signaled when running drops to zero or main finishes
+	now  time.Duration
+	// nowA mirrors now so Now() is lock-free: the hot paths (netsim
+	// sends, tracer timestamps, scheduler priorities) read the clock
+	// far more often than the controller advances it.
+	nowA     atomic.Int64
 	running  int // actors currently runnable
 	actors   int // live actors (runnable or parked)
 	events   eventHeap
@@ -106,11 +110,10 @@ func (s *Simulation) Tracer() *trace.Tracer {
 }
 
 // Now reports the current virtual time as an offset from the start of
-// the simulation. It is safe to call from any goroutine.
+// the simulation. It is safe to call from any goroutine and never
+// blocks on the kernel lock.
 func (s *Simulation) Now() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return time.Duration(s.nowA.Load())
 }
 
 // Go spawns fn as a new actor. The name is used in deadlock
@@ -234,6 +237,7 @@ func (s *Simulation) Run(main func()) error {
 			batch = append(batch, s.popLocked())
 		}
 		s.now = t
+		s.nowA.Store(int64(t))
 		s.running += len(batch)
 		s.mu.Unlock()
 

@@ -223,10 +223,19 @@ type (
 	Fig7bPoint = core.Fig7bPoint
 	Fig8Point  = core.Fig8Point
 	Fig9Point  = core.Fig9Point
+	// ScalePoint is one row of the cluster-scale experiment (scheduler
+	// cycle time and dynamic-request latency vs cluster size).
+	ScalePoint = core.ScalePoint
 )
 
 // Experiment functions and table renderers.
 var (
+	// SetParallelism caps how many independent experiment trials run
+	// concurrently (values < 1 reset to the core count); Parallelism
+	// reports the cap. Figure output is byte-identical at every level.
+	SetParallelism = core.SetParallelism
+	Parallelism    = core.Parallelism
+
 	Fig7a      = core.Fig7a
 	Fig7b      = core.Fig7b
 	Fig8       = core.Fig8
@@ -235,6 +244,12 @@ var (
 	Fig7bTable = core.Fig7bTable
 	Fig8Table  = core.Fig8Table
 	Fig9Table  = core.Fig9Table
+
+	// Scale replays a synthetic SWF workload on clusters of growing
+	// size (up to 256 compute nodes / 2048 accelerators by default).
+	Scale      = core.Scale
+	ScaleTable = core.ScaleTable
+	ScaleSizes = core.ScaleSizes
 
 	AblationDynPriority          = core.AblationDynPriority
 	AblationCollectiveGet        = core.AblationCollectiveGet

@@ -17,7 +17,7 @@ fi
 echo "==> go vet"
 go vet ./...
 
-echo "==> go test -race"
-go test -race ./... -count=1
+echo "==> go test -race -shuffle=on"
+go test -race -shuffle=on ./... -count=1
 
 echo "==> checks passed"
