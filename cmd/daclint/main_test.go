@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionHandshake(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exit %d, stderr %q", code, errb.String())
+	}
+	// The go command parses `<name> version <fingerprint...>`.
+	fields := strings.Fields(out.String())
+	if len(fields) < 3 || fields[0] != "daclint" || fields[1] != "version" {
+		t.Fatalf("-V=full output %q does not match the vet tool-ID contract", out.String())
+	}
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	var flags []any
+	if err := json.Unmarshal([]byte(out.String()), &flags); err != nil || len(flags) != 0 {
+		t.Fatalf("-flags output %q is not an empty JSON flag list (%v)", out.String(), err)
+	}
+}
+
+func TestHelpListsAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"help"}, &out, &errb); code != 0 {
+		t.Fatalf("help exit %d", code)
+	}
+	for _, name := range []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "lint:ignore"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("help output missing %q", name)
+		}
+	}
+}
+
+// writeVetCfg builds a unitchecker config for a single-file package
+// with no imports, the smallest unit the protocol can express.
+func writeVetCfg(t *testing.T, dir, importPath, src string, vetxOnly bool) string {
+	t.Helper()
+	goFile := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := vetConfig{
+		ID:         importPath,
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: importPath,
+		GoFiles:    []string{goFile},
+		GoVersion:  "go1.22",
+		VetxOnly:   vetxOnly,
+		VetxOutput: filepath.Join(dir, "vet.out"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgFile
+}
+
+const actorSrc = `package pbs
+
+func spawn(done chan struct{}) {
+	go func() { close(done) }()
+}
+`
+
+func TestVetUnitReportsFinding(t *testing.T) {
+	dir := t.TempDir()
+	// The import path places the unit inside an actor package, so the
+	// raw goroutine must trip vtctx.
+	cfgFile := writeVetCfg(t, dir, "repro/internal/pbs", actorSrc, false)
+	var out, errb strings.Builder
+	code := run([]string{cfgFile}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "vtctx") || !strings.Contains(errb.String(), "unit.go:4:2") {
+		t.Errorf("diagnostic not positioned as file:line:col: %q", errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "vet.out")); err != nil {
+		t.Errorf("vetx output file not written: %v", err)
+	}
+}
+
+func TestVetUnitVetxOnlySkipsAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	cfgFile := writeVetCfg(t, dir, "repro/internal/pbs", actorSrc, true)
+	var out, errb strings.Builder
+	if code := run([]string{cfgFile}, &out, &errb); code != 0 {
+		t.Fatalf("VetxOnly exit %d, stderr %s", code, errb.String())
+	}
+	if errb.Len() != 0 {
+		t.Errorf("VetxOnly produced diagnostics: %s", errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "vet.out")); err != nil {
+		t.Errorf("vetx output file not written: %v", err)
+	}
+}
+
+func TestStandaloneModule(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "simstuff"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package simstuff
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "simstuff", "s.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	code := run([]string{dir}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stdout %s stderr %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "walltime") {
+		t.Errorf("standalone run missed the walltime finding: %s", out.String())
+	}
+
+	// Annotating the finding with a reasoned directive makes the same
+	// module pass clean.
+	fixed := `package simstuff
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:ignore walltime host-side timestamp for log file names only
+	return time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "simstuff", "s.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("annotated module exit %d; stdout %s stderr %s", code, out.String(), errb.String())
+	}
+}

@@ -20,6 +20,11 @@ import (
 // accelerators, replays an SWF batch workload through the extended
 // TORQUE/Maui stack, and reports how the scheduler cycle time and the
 // latency of a dynamic request evolve with cluster size.
+//
+// Every reported quantity is virtual time: wall-clock measurement is
+// confined to the CLI layer (cmd/dacsim, cmd/dacbench) so the series
+// and their rendered tables are byte-identical run to run — the
+// walltime analyzer in internal/lint enforces this.
 
 // ScalePoint is one row of the scale table: a cluster of
 // ComputeNodes/Accelerators working through Jobs trace jobs.
@@ -31,7 +36,6 @@ type ScalePoint struct {
 	CycleMax     time.Duration // longest virtual scheduler cycle
 	DynLatency   time.Duration // dynamic request under full load (batch + MPI)
 	Makespan     time.Duration // virtual time to drain the trace
-	Wall         time.Duration // host wall-clock for the whole run
 }
 
 // ScaleSizes is the default compute-node axis; with ACsPerCN and
@@ -115,7 +119,6 @@ func Scale(p cluster.Params, sizes []int) ([]ScalePoint, error) {
 			return fmt.Errorf("core: Scale n=%d: %w", n, err)
 		}
 
-		wallStart := time.Now()
 		s := sim.New()
 		c := cluster.New(s, tp)
 		var pt ScalePoint
@@ -182,7 +185,6 @@ func Scale(p cluster.Params, sizes []int) ([]ScalePoint, error) {
 		pt.ComputeNodes = n
 		pt.Accelerators = tp.Accelerators
 		pt.Jobs = len(entries)
-		pt.Wall = time.Since(wallStart)
 		out[idx] = pt
 		return nil
 	})
@@ -198,13 +200,13 @@ func ScaleTable(points []ScalePoint) *metrics.Table {
 	t := &metrics.Table{
 		Title: "Scale: scheduler cycle time and dynamic-request latency vs cluster size",
 		Headers: []string{"compute_nodes", "accelerators", "jobs",
-			"cycle_mean_ms", "cycle_max_ms", "dyn_latency_ms", "makespan_ms", "wall"},
+			"cycle_mean_ms", "cycle_max_ms", "dyn_latency_ms", "makespan_ms"},
 	}
 	for _, pt := range points {
 		t.AddRow(
 			fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Accelerators), fmt.Sprint(pt.Jobs),
 			metrics.Ms(pt.CycleMean), metrics.Ms(pt.CycleMax), metrics.Ms(pt.DynLatency),
-			metrics.Ms(pt.Makespan), pt.Wall.Round(time.Millisecond).String(),
+			metrics.Ms(pt.Makespan),
 		)
 	}
 	return t

@@ -41,7 +41,6 @@ func TestScaleTableRenders(t *testing.T) {
 		ComputeNodes: 8, Accelerators: 64, Jobs: 64,
 		CycleMean: 11 * time.Millisecond, CycleMax: 14 * time.Millisecond,
 		DynLatency: 190 * time.Millisecond, Makespan: 67 * time.Second,
-		Wall: 15 * time.Millisecond,
 	}}
 	var b strings.Builder
 	if err := ScaleTable(pts).Render(&b); err != nil {

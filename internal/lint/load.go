@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// LoadModule parses and type-checks every non-test package of the Go
+// module rooted at dir, using only the standard library: module
+// packages are loaded from source recursively and standard-library
+// imports resolve through the source importer, so no network, module
+// cache, or export data is required. Packages are returned in import
+// path order.
+//
+// The loader exists for the standalone `daclint <moduledir>` mode and
+// for the in-repo self-check test; under `go vet -vettool` the driver
+// instead type-checks against the export data the go command hands it.
+func LoadModule(dir string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &moduleLoader{
+		fset:    token.NewFileSet(),
+		root:    abs,
+		module:  modpath,
+		loaded:  make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	var paths []string
+	err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, err := packageGoFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(abs, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, modpath)
+		} else {
+			paths = append(paths, modpath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+type moduleLoader struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	std     types.Importer
+	loaded  map[string]*Package
+	loading map[string]bool
+}
+
+// Import implements types.Importer so module-internal imports resolve
+// recursively through the loader while everything else falls through
+// to the standard library's source importer.
+func (l *moduleLoader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *moduleLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	}
+	names, err := packageGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// packageGoFiles lists the buildable non-test Go files of dir in
+// lexical order (generators and fixtures guarded by //go:build ignore
+// are skipped).
+func packageGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if ignoredByBuildTag(string(data)) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ignoredByBuildTag reports whether src carries a //go:build ignore
+// (or legacy +build ignore) constraint before its package clause.
+func ignoredByBuildTag(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			return false
+		}
+		if strings.HasPrefix(line, "//go:build") && strings.Contains(line, "ignore") {
+			return true
+		}
+		if strings.HasPrefix(line, "// +build") && strings.Contains(line, "ignore") {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if rest != "" {
+				return strings.Trim(rest, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}

@@ -1,0 +1,99 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// loadRepo loads this module (the repository the test runs in) once
+// per test binary.
+func loadRepo(t *testing.T) []*lint.Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module at %s: %v", root, err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader lost the module", len(pkgs), root)
+	}
+	return pkgs
+}
+
+// TestRepoPassesDaclint is the self-check the CI lint gate mirrors:
+// the full suite over every package of this repository with zero
+// unsuppressed findings. A failure here means either a real
+// determinism bug or a site that needs a reasoned //lint:ignore.
+func TestRepoPassesDaclint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	suite := lint.Suite()
+	for _, pkg := range loadRepo(t) {
+		diags, err := lint.Run(pkg, suite)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			t.Errorf("%s:%d:%d: [%s] %s", p.Filename, p.Line, p.Column, d.Category, d.Message)
+		}
+	}
+}
+
+// TestRandomnessFlowsThroughSimRNG pins the stronger import-level
+// invariant behind the seededrand analyzer: no package in this module
+// imports math/rand at all — every random stream is a sim.RNG, which
+// is deterministic across Go releases and owned by its trial.
+func TestRandomnessFlowsThroughSimRNG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	for _, pkg := range loadRepo(t) {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || strings.HasPrefix(path, "math/rand/") {
+					p := pkg.Fset.Position(imp.Pos())
+					t.Errorf("%s:%d: %s imports %s; draw randomness from repro/internal/sim.RNG instead",
+						p.Filename, p.Line, pkg.Path, path)
+				}
+			}
+		}
+	}
+}
+
+// TestLoaderPositionsAreReal guards the loader itself: diagnostics
+// must carry positions inside this repository, not token.NoPos.
+func TestLoaderPositionsAreReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs := loadRepo(t)
+	var sim *lint.Package
+	for _, pkg := range pkgs {
+		if pkg.Path == "repro/internal/sim" {
+			sim = pkg
+		}
+	}
+	if sim == nil {
+		t.Fatal("loader did not surface repro/internal/sim")
+	}
+	if len(sim.Files) == 0 || sim.Files[0].Pos() == token.NoPos {
+		t.Fatal("loaded files carry no positions")
+	}
+	if !sim.Types.Complete() {
+		t.Fatal("repro/internal/sim type-checked incompletely")
+	}
+}

@@ -1,0 +1,28 @@
+// Package actor models simulation-actor code, where raw goroutines
+// are forbidden: every spawn must register with the sim kernel.
+package actor
+
+// Kernel models (*sim.Simulation): Go registers an actor with the
+// virtual-time controller before spawning it.
+type Kernel struct{ spawn func(string, func()) }
+
+func (k *Kernel) Go(name string, fn func()) { k.spawn(name, fn) }
+
+func spawnsRaw(done chan struct{}) {
+	go func() { // want `raw goroutine in actor code`
+		close(done)
+	}()
+}
+
+func spawnsNamed(fn func()) {
+	go fn() // want `raw goroutine in actor code`
+}
+
+func spawnsRegistered(k *Kernel, fn func()) {
+	k.Go("worker", fn) // the sim-aware path
+}
+
+func annotated(metrics func()) {
+	//lint:ignore vtctx host-side metrics flusher, runs outside virtual time
+	go metrics()
+}

@@ -1,0 +1,11 @@
+// Package badignore holds a directive with no reason; the harness
+// test asserts that the directive itself is reported and that it
+// suppresses nothing.
+package badignore
+
+import "time"
+
+func reasonless() time.Time {
+	//lint:ignore walltime
+	return time.Now()
+}

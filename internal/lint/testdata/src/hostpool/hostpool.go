@@ -1,0 +1,18 @@
+// Package hostpool models host-side code outside the actor packages:
+// raw goroutines here are the trial worker pool's business, and the
+// vtctx analyzer must leave them alone.
+package hostpool
+
+import "sync"
+
+func FanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,20 @@
+// Package ignores exercises the //lint:ignore directive contract: a
+// directive must name its analyzers and give a non-empty reason, and
+// a reasoned directive only suppresses the analyzers it names.
+package ignores
+
+import "time"
+
+func wrongName() time.Time {
+	//lint:ignore seededrand suppressing the wrong analyzer does nothing
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+func multiName() time.Time {
+	//lint:ignore seededrand,walltime demonstrating a multi-analyzer directive
+	return time.Now()
+}
+
+func sameLine() time.Time {
+	return time.Now() //lint:ignore walltime same-line suppression with a reason
+}

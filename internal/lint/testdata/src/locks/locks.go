@@ -1,0 +1,110 @@
+// Package locks exercises the lockdiscipline analyzer.
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func missingUnlock(c *counter) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) with no c\.mu\.Unlock\(\) on any path`
+	c.n++
+}
+
+func missingRUnlock(r *registry) int {
+	r.mu.RLock() // want `r\.mu\.RLock\(\) with no r\.mu\.RUnlock\(\)`
+	return len(r.items)
+}
+
+func balancedDefer(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func balancedDirect(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func earlyReturns(c *counter) int {
+	c.mu.Lock()
+	if c.n < 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func deferredDouble(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	defer c.mu.Unlock() // want `2 deferred c\.mu\.Unlock\(\) for 1 c\.mu\.Lock\(\)`
+}
+
+func byValueParam(c counter) int { // want `parameter passes a lock by value`
+	return c.n
+}
+
+func copiesByAssignment(c *counter) int {
+	snapshot := *c // want `assignment copies a lock by value`
+	return snapshot.n
+}
+
+func copiesInRange(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want `range copies a lock by value`
+		total += c.n
+	}
+	return total
+}
+
+func pointersAreFine(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		c.mu.Lock()
+		total += c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// goroutineScopes: each function literal is its own lock scope, so the
+// spawned closure balancing its own Lock/Unlock is clean, and an
+// unbalanced closure is flagged even though the enclosing function
+// also unlocks.
+func goroutineScopes(c *counter) {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}()
+	go func() {
+		c.mu.Lock() // want `c\.mu\.Lock\(\) with no c\.mu\.Unlock\(\)`
+		c.n++
+	}()
+}
+
+// handOff models a deliberate cross-function locking protocol: the
+// suppression names the analyzer and the reason.
+func handOff(c *counter) {
+	//lint:ignore lockdiscipline lock is released by the paired release() callback
+	c.mu.Lock()
+	c.n++
+}
+
+func release(c *counter) {
+	c.mu.Unlock()
+}

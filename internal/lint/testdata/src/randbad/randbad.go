@@ -1,0 +1,32 @@
+// Package randbad exercises the seededrand analyzer: process-global
+// and unseeded math/rand use is flagged, seeded trial-owned sources
+// are allowed.
+package randbad
+
+import (
+	"math/rand"
+	rv2 "math/rand/v2"
+)
+
+func globals() {
+	_ = rand.Int()                     // want `rand\.Int uses the process-global math/rand source`
+	_ = rand.Intn(6)                   // want `rand\.Intn uses the process-global`
+	_ = rand.Float64()                 // want `rand\.Float64 uses the process-global`
+	rand.Shuffle(3, func(int, int) {}) // want `rand\.Shuffle uses the process-global`
+	_ = rv2.IntN(6)                    // want `rand\.IntN uses the process-global`
+}
+
+func unseeded(src rand.Source) {
+	_ = rand.New(src) // want `rand\.New without an inline seeded source`
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // trial-owned and reproducible
+	r2 := rv2.New(rv2.NewPCG(1, 2))
+	return r.Float64() + r2.Float64()
+}
+
+func annotated() int {
+	//lint:ignore seededrand fixture demonstrating reasoned suppression
+	return rand.Int()
+}

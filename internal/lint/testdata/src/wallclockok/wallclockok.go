@@ -1,0 +1,11 @@
+// Package wallclockok models the CLI layer, which is allowlisted for
+// wall-clock time: nothing here may be flagged.
+package wallclockok
+
+import "time"
+
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// NewVTCtx returns the vtctx analyzer for the given actor-package
+// import-path prefixes. Code in those packages runs as simulation
+// actors: the kernel counts runnable actors to decide when the
+// virtual clock may advance, so a goroutine spawned with a raw `go`
+// statement is invisible to the kernel — the clock can jump while it
+// still runs, reordering events and desyncing virtual time. Every
+// concurrent activity in actor code must be registered through
+// (*sim.Simulation).Go (or a sim-aware wrapper layered on it).
+func NewVTCtx(actorPkgs ...string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "vtctx",
+		Doc: "forbid raw `go` statements in actor packages; goroutines must register with the " +
+			"sim kernel via (*sim.Simulation).Go or virtual time advances without them",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if len(actorPkgs) > 0 && !hasPrefixAny(pass.Pkg.Path(), actorPkgs) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "raw goroutine in actor code is invisible to the sim kernel and desyncs virtual time: spawn it with (*sim.Simulation).Go")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time entry points that read or wait
+// on the host clock. Simulation code must use the virtual clock
+// ((*sim.Simulation).Now/Sleep/After/At) instead: a single wall-clock
+// read in a hot path silently couples figure output to host speed.
+var wallClockFuncs = map[string]string{
+	"Now":       "(*sim.Simulation).Now",
+	"Sleep":     "(*sim.Simulation).Sleep",
+	"After":     "(*sim.Simulation).After",
+	"AfterFunc": "(*sim.Simulation).After",
+	"Tick":      "a sim.Gate driven by (*sim.Simulation).After",
+	"NewTicker": "a sim.Gate driven by (*sim.Simulation).After",
+	"NewTimer":  "(*sim.Simulation).After",
+	"Since":     "durations of (*sim.Simulation).Now",
+	"Until":     "durations of (*sim.Simulation).Now",
+}
+
+// NewWalltime returns the walltime analyzer: it forbids wall-clock
+// reads and waits (time.Now, time.Sleep, time.After, time.AfterFunc,
+// time.Tick, time.NewTicker, time.NewTimer, time.Since, time.Until)
+// outside the packages whose import paths match the allowed prefixes
+// (the real-IO/CLI layer).
+func NewWalltime(allowed ...string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "walltime",
+		Doc: "forbid wall-clock time in simulation code; use the virtual clock in internal/sim " +
+			"so runs stay deterministic and host-speed independent",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if hasPrefixAny(pass.Pkg.Path(), allowed) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := analysis.Callee(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods like time.Time.After compare values; only package-level reads touch the host clock
+				}
+				if instead, bad := wallClockFuncs[fn.Name()]; bad {
+					pass.Reportf(call.Pos(), "wall-clock time.%s in simulation code: use %s", fn.Name(), instead)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

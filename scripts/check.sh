@@ -17,6 +17,9 @@ fi
 echo "==> go vet"
 go vet ./...
 
+echo "==> daclint (+ staticcheck/govulncheck when installed)"
+sh scripts/lint.sh
+
 echo "==> go test -race -shuffle=on"
 go test -race -shuffle=on ./... -count=1
 

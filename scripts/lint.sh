@@ -1,0 +1,74 @@
+#!/bin/sh
+# Static-analysis gate: builds the daclint vet tool from this module
+# and runs it over every package via `go vet -vettool`, then runs
+# staticcheck and govulncheck when they are installed (CI installs the
+# pinned versions below; local runs skip what is missing so the script
+# works offline).
+#
+# Per-analyzer finding counts are always printed, and appended to
+# $GITHUB_STEP_SUMMARY when that file is set (the CI lint job).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Pinned external tool versions. CI greps these out of this file so
+# the workflow and the script can never disagree about what to install.
+STATICCHECK_VERSION="v0.5.1"
+GOVULNCHECK_VERSION="v1.1.4"
+
+echo "==> build daclint"
+mkdir -p bin
+go build -o bin/daclint ./cmd/daclint
+
+echo "==> go vet -vettool=daclint"
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+status=0
+go vet -vettool="$(pwd)/bin/daclint" ./... >"$out" 2>&1 || status=$?
+cat "$out"
+
+# Count findings per analyzer. The five suite names are pinned by
+# TestSuite in internal/lint; "ignore" counts malformed //lint:ignore
+# directives reported by the framework itself.
+summary=$(
+    echo "| analyzer | findings |"
+    echo "| --- | ---: |"
+    for a in walltime seededrand maporder lockdiscipline vtctx ignore; do
+        n=$(grep -c ": $a: " "$out" || true)
+        echo "| $a | $n |"
+    done
+)
+echo "$summary" | sed 's/|/ /g'
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "### daclint"
+        echo ""
+        echo "$summary"
+        echo ""
+        if [ "$status" -eq 0 ]; then
+            echo "No unsuppressed findings."
+        else
+            echo "**daclint failed (exit $status).**"
+        fi
+    } >>"$GITHUB_STEP_SUMMARY"
+fi
+if [ "$status" -ne 0 ]; then
+    echo "daclint found problems (exit $status)" >&2
+    exit "$status"
+fi
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "==> staticcheck (pinned $STATICCHECK_VERSION in CI)"
+    staticcheck ./...
+else
+    echo "==> staticcheck not installed; skipping (CI pins $STATICCHECK_VERSION)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "==> govulncheck (pinned $GOVULNCHECK_VERSION in CI)"
+    govulncheck ./...
+else
+    echo "==> govulncheck not installed; skipping (CI pins $GOVULNCHECK_VERSION)"
+fi
+
+echo "==> lint passed"
