@@ -36,7 +36,7 @@ func TestHelpListsAnalyzers(t *testing.T) {
 	if code := run([]string{"help"}, &out, &errb); code != 0 {
 		t.Fatalf("help exit %d", code)
 	}
-	for _, name := range []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "lint:ignore"} {
+	for _, name := range []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance", "lint:ignore"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("help output missing %q", name)
 		}

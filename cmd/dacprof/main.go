@@ -1,0 +1,138 @@
+// Command dacprof is the causal critical-path profiler for capture
+// files recorded by the simulated DAC testbed (dacsim -fig breakdown
+// -capture, or any trace.WriteCapture stream).
+//
+// It reconstructs each job's causal chain across the batch-system
+// layers and prints an exact per-phase attribution of every job's
+// end-to-end virtual-time latency, the aggregate critical-path
+// owners, and — in diff mode — the phase responsible for drift
+// between two captures.
+//
+// Usage:
+//
+//	dacprof capture.jsonl                 # phase + critical-path tables
+//	dacprof -jobs capture.jsonl           # add the per-job attribution
+//	dacprof -csv capture.jsonl            # machine-readable output
+//	dacprof -folded out.folded capture.jsonl   # flamegraph stacks
+//	dacprof -top 5 capture.jsonl               # wider critical-path table
+//	dacprof -diff old.jsonl new.jsonl     # name the drifting phase
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/prof"
+	"repro/internal/trace"
+)
+
+func readCapture(path string) []trace.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("dacprof: %v", err)
+	}
+	defer f.Close()
+	events, err := trace.ReadCapture(f)
+	if err != nil {
+		log.Fatalf("dacprof: %s: %v", path, err)
+	}
+	return events
+}
+
+// analyze profiles one capture file and reports incomplete chains.
+func analyze(path string) (*prof.Profile, []trace.Event) {
+	events := readCapture(path)
+	p := prof.Analyze(events)
+	if n := len(p.Incomplete); n > 0 {
+		fmt.Fprintf(os.Stderr, "dacprof: %s: %d incomplete causal chains (first: %s)\n",
+			path, n, p.Incomplete[0])
+	}
+	return p, events
+}
+
+// summarize merges the profiles of several captures.
+func summarize(profiles []*prof.Profile) *prof.Summary {
+	sum := prof.Summarize(profiles[0])
+	for _, p := range profiles[1:] {
+		sum.Merge(prof.Summarize(p))
+	}
+	return sum
+}
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jobs := flag.Bool("jobs", false, "include the exact per-job attribution table")
+	top := flag.Int("top", 3, "critical-path owners to list")
+	folded := flag.String("folded", "", "write folded flamegraph stacks (flamegraph.pl / inferno format) to this file")
+	diff := flag.String("diff", "", "baseline capture to diff against: report per-phase drift and the top drifter")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dacprof [flags] capture.jsonl [capture.jsonl ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	emit := func(t *metrics.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatalf("dacprof: %v", err)
+		}
+		fmt.Println()
+	}
+
+	var profiles []*prof.Profile
+	var streams [][]trace.Event
+	for _, path := range flag.Args() {
+		p, events := analyze(path)
+		profiles = append(profiles, p)
+		streams = append(streams, events)
+	}
+	sum := summarize(profiles)
+
+	if *diff != "" {
+		old, _ := analyze(*diff)
+		deltas := prof.Diff(prof.Summarize(old), sum)
+		emit(prof.DiffTable(deltas))
+		if d, ok := prof.TopDrifter(deltas); ok {
+			fmt.Printf("dacprof: top drifter: %s (%+.1f ms)\n", d.Name, float64(d.Delta)/1e6)
+		}
+		return
+	}
+
+	emit(sum.StaticTable())
+	if sum.Dyns > 0 || sum.Rejected > 0 {
+		emit(sum.DynTable())
+	}
+	emit(sum.PathTable(*top))
+	if *jobs {
+		for _, p := range profiles {
+			emit(prof.JobTable(p))
+		}
+	}
+
+	if *folded != "" {
+		f, err := os.Create(*folded)
+		if err != nil {
+			log.Fatalf("dacprof: %v", err)
+		}
+		// Duplicate stacks across captures are fine: the folded format
+		// is additive, flamegraph tools sum repeated lines.
+		for _, events := range streams {
+			if err := prof.WriteFolded(f, events); err != nil {
+				log.Fatalf("dacprof: folded: %v", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("dacprof: folded: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dacprof: wrote folded stacks to %s\n", *folded)
+	}
+}

@@ -8,6 +8,7 @@
 //	dacsim -fig 7b -trials 10  # one figure
 //	dacsim -fig ablations      # the DESIGN.md ablation suite
 //	dacsim -fig 8 -csv         # machine-readable output
+//	dacsim -fig breakdown -capture prof   # profiler captures for dacprof
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, scale, ablations, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, scale, breakdown, ablations, all")
 	trials := flag.Int("trials", 10, "trials per data point (the paper averages 10)")
 	maxACs := flag.Int("max", 6, "maximum accelerator count for figures 7(a) and 7(b)")
 	scaleNodes := flag.Int("scale-max", 256, "largest compute-node count for -fig scale (accelerators and jobs grow 8x)")
@@ -30,6 +32,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "independent trials run on this many OS threads (0 or <1 = all cores); output is identical at every level")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every simulated run to this file")
+	captureOut := flag.String("capture", "", "with -fig breakdown: write one profiler capture (JSONL, readable by dacprof) per cluster size to PREFIX-<nodes>.jsonl")
 	showMetrics := flag.Bool("metrics", false, "print the tracer's metrics summary (span latencies, counters, gauges) after the figures")
 	flag.Parse()
 
@@ -97,6 +100,40 @@ func main() {
 			log.Fatalf("dacsim: scale: %v", err)
 		}
 		emit(repro.ScaleTable(pts))
+	}
+	runBreakdown := func() {
+		var sizes []int
+		for _, n := range repro.ScaleSizes {
+			if n <= *scaleNodes {
+				sizes = append(sizes, n)
+			}
+		}
+		if len(sizes) == 0 || sizes[len(sizes)-1] != *scaleNodes {
+			sizes = append(sizes, *scaleNodes)
+		}
+		var capture func(int, []repro.TraceEvent)
+		if *captureOut != "" {
+			capture = func(n int, events []repro.TraceEvent) {
+				path := fmt.Sprintf("%s-%d.jsonl", strings.TrimSuffix(*captureOut, ".jsonl"), n)
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatalf("dacsim: capture: %v", err)
+				}
+				if err := repro.WriteCapture(f, events); err != nil {
+					log.Fatalf("dacsim: capture: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("dacsim: capture: %v", err)
+				}
+				fmt.Fprintf(os.Stderr, "dacsim: wrote %d events to %s\n", len(events), path)
+			}
+		}
+		pts, err := repro.Breakdown(params, sizes, capture)
+		if err != nil {
+			log.Fatalf("dacsim: breakdown: %v", err)
+		}
+		emit(repro.BreakdownTable(pts))
+		emit(repro.DynBreakdownTable(pts))
 	}
 	runAblations := func() {
 		dp, err := repro.AblationDynPriority(params, 16, 1)
@@ -184,6 +221,9 @@ func main() {
 		emit(t)
 	}
 
+	if *captureOut != "" && *fig != "breakdown" {
+		log.Fatalf("dacsim: -capture requires -fig breakdown (per-size private tracers)")
+	}
 	start := time.Now()
 	switch *fig {
 	case "7a":
@@ -196,6 +236,8 @@ func main() {
 		run9()
 	case "scale":
 		runScale()
+	case "breakdown":
+		runBreakdown()
 	case "ablations":
 		runAblations()
 	case "all":
@@ -205,7 +247,7 @@ func main() {
 		run9()
 		runAblations()
 	default:
-		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, scale, ablations, all)", *fig)
+		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, scale, breakdown, ablations, all)", *fig)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

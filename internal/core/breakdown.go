@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dac"
+	"repro/internal/metrics"
+	"repro/internal/pbs"
+	"repro/internal/prof"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The breakdown experiment is the profiler's view of the scale
+// ladder: it replays the synthetic SWF workload of the scale
+// experiment on clusters of growing size, records every layer's spans
+// into a per-size tracer, and lets internal/prof attribute each job's
+// end-to-end latency — and the probe's dynamic request — to exact
+// causal phases. It generalizes the paper's hand-made decompositions
+// (Figures 7(a), 7(b), and 8: static allocation overhead vs dynamic
+// request overhead) to whole workloads at 8→256 compute nodes.
+
+// BreakdownPoint is one row of the breakdown figure: the per-phase
+// mean decomposition of job latency at one cluster size.
+type BreakdownPoint struct {
+	ComputeNodes int
+	Accelerators int
+	Jobs         int // jobs fully attributed
+	Incomplete   int // causal chains the profiler could not close
+	// Static holds the per-phase means in prof.StaticPhases order;
+	// Dyn the probe request's phases in prof.DynPhases order.
+	Static   []prof.Phase
+	Dyn      []prof.Phase
+	Total    time.Duration // mean end-to-end job latency
+	DynTotal time.Duration // mean dynamic request latency
+	// Top are the largest critical-path owners across all jobs.
+	Top []prof.OwnerShare
+}
+
+// Breakdown runs the profiler over the scale ladder (ScaleSizes when
+// sizes is nil). Each size is an independent simulation with a
+// private tracer, so the points fan out over the trial worker pool
+// and the result is byte-identical at every parallelism level.
+// capture, when non-nil, receives each size's raw span stream (in
+// input order, after all runs complete) — the hook dacsim uses to
+// write profiler capture files.
+func Breakdown(p cluster.Params, sizes []int, capture func(computeNodes int, events []trace.Event)) ([]BreakdownPoint, error) {
+	if len(sizes) == 0 {
+		sizes = ScaleSizes
+	}
+	out := make([]BreakdownPoint, len(sizes))
+	captured := make([][]trace.Event, len(sizes))
+	err := forEach(len(sizes), func(idx int) error {
+		n := sizes[idx]
+		if n < 1 {
+			return fmt.Errorf("core: Breakdown size %d", n)
+		}
+		tp := scaleParams(p, n)
+		tr := trace.New()
+		tp.Tracer = tr
+		jobs := n * JobsPerCN
+		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+		if err != nil {
+			return fmt.Errorf("core: Breakdown n=%d: %w", n, err)
+		}
+
+		s := sim.New()
+		c := cluster.New(s, tp)
+		probeReady := newSignal(s, "breakdown-ready")
+		goahead := newSignal(s, "breakdown-go")
+		runErr := s.Run(func() {
+			defer c.Close()
+			c.Start()
+			client := c.Client("front")
+
+			// The probe job exercises the full static chain (two
+			// statically allocated accelerators) and, once the trace
+			// is submitted, the dynamic chain under load.
+			probeID, err := client.Submit(pbs.JobSpec{
+				Name: "breakdown-probe", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 2,
+				Walltime: time.Hour,
+				Script: func(env *pbs.JobEnv) {
+					ac, _, err := dac.Init(env)
+					if err != nil {
+						return
+					}
+					defer ac.Finalize()
+					probeReady.fire()
+					goahead.wait()
+					clientID, _, err := ac.Get(1)
+					if err == nil {
+						ac.Free(clientID)
+					}
+				},
+			})
+			if err != nil {
+				return
+			}
+			probeReady.wait()
+
+			ids, err := workload.Replay(s, client, entries)
+			if err != nil {
+				return
+			}
+			goahead.fire()
+			for _, id := range ids {
+				client.Wait(id)
+			}
+			client.Wait(probeID)
+		})
+		if runErr != nil {
+			return fmt.Errorf("core: Breakdown n=%d: %w", n, runErr)
+		}
+
+		events := tr.Events()
+		captured[idx] = events
+		profile := prof.Analyze(events)
+		sum := prof.Summarize(profile)
+		pt := BreakdownPoint{
+			ComputeNodes: n,
+			Accelerators: tp.Accelerators,
+			Jobs:         len(profile.Jobs),
+			Incomplete:   len(profile.Incomplete),
+			Total:        sum.Total.Mean(),
+			DynTotal:     sum.DynTotal.Mean(),
+			Top:          sum.TopPath(3),
+		}
+		for _, name := range prof.StaticPhases {
+			if sm := sum.Static[name]; sm != nil {
+				pt.Static = append(pt.Static, prof.Phase{Name: name, Dur: sm.Mean()})
+			}
+		}
+		for _, name := range prof.DynPhases {
+			if sm := sum.Dyn[name]; sm != nil {
+				pt.Dyn = append(pt.Dyn, prof.Phase{Name: name, Dur: sm.Mean()})
+			}
+		}
+		out[idx] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if capture != nil {
+		for idx, n := range sizes {
+			capture(n, captured[idx])
+		}
+	}
+	return out, nil
+}
+
+// phaseCell renders one phase's mean, "-" when the phase is absent.
+func phaseCell(phases []prof.Phase, name string) string {
+	for _, ph := range phases {
+		if ph.Name == name {
+			return metrics.Ms(ph.Dur)
+		}
+	}
+	return "-"
+}
+
+// BreakdownTable renders the static-chain decomposition, one row per
+// cluster size (the paper's "static allocation overhead" axis).
+func BreakdownTable(points []BreakdownPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Breakdown: static allocation phases vs cluster size (per-job means) [ms]",
+		Headers: append(append([]string{"compute_nodes", "jobs"}, prof.StaticPhases...), "total"),
+	}
+	for _, pt := range points {
+		row := []string{fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Jobs)}
+		for _, name := range prof.StaticPhases {
+			row = append(row, phaseCell(pt.Static, name))
+		}
+		row = append(row, metrics.Ms(pt.Total))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// DynBreakdownTable renders the dynamic-request decomposition, one
+// row per cluster size (the "dynamic request overhead" axis).
+func DynBreakdownTable(points []BreakdownPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Breakdown: dynamic request phases vs cluster size [ms]",
+		Headers: append(append([]string{"compute_nodes", "accelerators"}, prof.DynPhases...), "total"),
+	}
+	for _, pt := range points {
+		row := []string{fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Accelerators)}
+		for _, name := range prof.DynPhases {
+			row = append(row, phaseCell(pt.Dyn, name))
+		}
+		row = append(row, metrics.Ms(pt.DynTotal))
+		t.AddRow(row...)
+	}
+	return t
+}

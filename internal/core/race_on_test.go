@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector. See TestBreakdownExactAtEveryParallelism for the one
+// assertion it gates.
+const raceDetectorOn = true

@@ -97,6 +97,7 @@ func Init(env *pbs.JobEnv) (*AC, []*Accel, error) {
 		sp = trc.Start(ac.track(), "ac.init",
 			"job", env.JobID, "acs", strconv.Itoa(len(env.AccHosts)))
 	}
+	sp.Link(env.TaskSpan) // the job.run task this setup belongs to
 	defer sp.End()
 
 	// Waiting phase: the daemons were launched by the mother
@@ -108,14 +109,18 @@ func Init(env *pbs.JobEnv) (*AC, []*Accel, error) {
 	wait.End()
 
 	// Connect phase: MPI_Comm_connect/accept plus intercomm merge.
+	// The child span must end on the error paths too, or the trace
+	// leaks an open span (caught by the spanbalance analyzer).
 	conn := sp.Child("connect")
 	start = ctx.Sim.Now()
 	inter, err := ac.proc.Connect(port, ac.proc.World())
 	if err != nil {
+		conn.End()
 		return nil, nil, fmt.Errorf("dac: AC_Init connect: %w", err)
 	}
 	intra, err := inter.Merge(false)
 	if err != nil {
+		conn.End()
 		return nil, nil, fmt.Errorf("dac: AC_Init merge: %w", err)
 	}
 	ac.stats.InitConnect = ctx.Sim.Now() - start

@@ -181,7 +181,8 @@ func (ctx *Context) jitter(d time.Duration) time.Duration {
 // accelerators (paper Figure 5, "start daemons"). Daemons are forked
 // serially (DaemonLaunch apart), boot in DaemonInit, synchronize, and
 // the root opens and publishes an MPI port for the compute node.
-func (ctx *Context) StartDaemons(jobID, cn string, acHosts []string) {
+// cause is the trace-span id of the mother superior's startup.
+func (ctx *Context) StartDaemons(jobID, cn string, acHosts []string, cause uint64) {
 	ctx.MPI.LaunchWorld(acHosts, fmt.Sprintf("dacdaemon/%s/%s", jobID, cn), func(p *mpi.Proc) {
 		w := p.World()
 		// daemon.boot covers serial fork, init, and the readiness
@@ -190,6 +191,7 @@ func (ctx *Context) StartDaemons(jobID, cn string, acHosts []string) {
 		if trc := ctx.Sim.Tracer(); trc != nil {
 			sp = trc.Start("dac/daemon@"+p.Host(), "daemon.boot", "job", jobID)
 		}
+		sp.Link(cause)
 		// Serial fork at the mom plus the daemon's own init.
 		ctx.Sim.Sleep(ctx.jitter(time.Duration(w.Rank()+1)*ctx.Params.DaemonLaunch + ctx.Params.DaemonInit))
 		if err := w.Barrier(); err != nil {

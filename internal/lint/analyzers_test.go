@@ -31,6 +31,10 @@ func TestVTCtx(t *testing.T) {
 	linttest.Run(t, "testdata", []*analysis.Analyzer{a}, "actor", "hostpool")
 }
 
+func TestSpanBalance(t *testing.T) {
+	linttest.Run(t, "testdata", []*analysis.Analyzer{lint.NewSpanBalance()}, "spans")
+}
+
 // TestIgnoreDirectives covers the suppression contract end to end:
 // wrong-name directives suppress nothing, multi-name and same-line
 // directives suppress their named analyzers.
@@ -70,10 +74,10 @@ func TestMalformedIgnore(t *testing.T) {
 	}
 }
 
-// TestSuite pins the shipped analyzer set: five analyzers, stable
+// TestSuite pins the shipped analyzer set: six analyzers, stable
 // names, stable order — the CI job summary keys off these names.
 func TestSuite(t *testing.T) {
-	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx"}
+	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance"}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

@@ -2,7 +2,7 @@
 // the simulator's determinism and virtual-time invariants at vet
 // time, before they can cost a flaky benchmark gate.
 //
-// The suite (see Suite) ships five analyzers:
+// The suite (see Suite) ships six analyzers:
 //
 //   - walltime: no wall-clock time (time.Now, time.Sleep, ...) in
 //     simulation code — virtual time must come from internal/sim.
@@ -17,6 +17,10 @@
 //   - vtctx: no raw `go` statements in actor packages — goroutines
 //     must register with the sim kernel via (*sim.Simulation).Go or
 //     virtual time desyncs.
+//   - spanbalance: every trace span opened in a function
+//     (Tracer.Start, Span.Child) must reach an End in that scope or
+//     be handed off — an open span truncates the causal chains the
+//     critical-path profiler reconstructs.
 //
 // False positives are suppressed in place with a reasoned directive:
 //
@@ -82,6 +86,7 @@ func Suite() []*analysis.Analyzer {
 		NewMapOrder(),
 		NewLockDiscipline(lockScope...),
 		NewVTCtx(actorPackages...),
+		NewSpanBalance(),
 	}
 }
 

@@ -275,7 +275,7 @@ func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools, phase *trace
 	for _, r := range reqs {
 		var sp *trace.Span
 		if phase != nil {
-			sp = phase.Child("sched.dyn", "job", r.JobID, "count", strconv.Itoa(r.Count))
+			sp = phase.Child("sched.dyn", "job", r.JobID, "req", strconv.Itoa(r.ReqID), "count", strconv.Itoa(r.Count))
 		}
 		sc.sim.Sleep(sc.params.DynPerReqCost)
 		hosts := sc.allocDyn(r, p)
@@ -288,7 +288,7 @@ func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools, phase *trace
 		sc.mu.Unlock()
 		sp.Annotate("granted", strconv.FormatBool(len(hosts) > 0))
 		sp.End()
-		sc.send(pbs.DynAllocCmd{ReqID: r.ReqID, Hosts: hosts})
+		sc.sendCause(pbs.DynAllocCmd{ReqID: r.ReqID, Hosts: hosts, Cause: sp.ID()}, sp.ID())
 	}
 }
 
@@ -381,7 +381,7 @@ func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools, phase *
 	sort.SliceStable(items, func(a, b int) bool { return items[a].at < items[b].at })
 	for _, it := range items {
 		if it.dyn != nil {
-			sp := phase.Child("sched.dyn", "job", it.dyn.JobID)
+			sp := phase.Child("sched.dyn", "job", it.dyn.JobID, "req", strconv.Itoa(it.dyn.ReqID))
 			sc.sim.Sleep(sc.params.DynPerReqCost)
 			hosts := sc.allocDyn(*it.dyn, p)
 			sc.mu.Lock()
@@ -392,7 +392,7 @@ func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools, phase *
 			}
 			sc.mu.Unlock()
 			sp.End()
-			sc.send(pbs.DynAllocCmd{ReqID: it.dyn.ReqID, Hosts: hosts})
+			sc.sendCause(pbs.DynAllocCmd{ReqID: it.dyn.ReqID, Hosts: hosts, Cause: sp.ID()}, sp.ID())
 			continue
 		}
 		sc.sim.Sleep(sc.params.PerJobCost)
@@ -438,9 +438,15 @@ func (sc *Scheduler) place(j pbs.JobInfo, hosts []string, acc map[string][]strin
 	}
 	sc.usage[j.Spec.Owner] += charge
 	sc.mu.Unlock()
-	sc.send(pbs.AllocCmd{JobID: j.ID, Hosts: hosts, AccHosts: acc})
+	sc.sendCause(pbs.AllocCmd{JobID: j.ID, Hosts: hosts, AccHosts: acc, Cause: sp.ID()}, sp.ID())
 }
 
 func (sc *Scheduler) send(payload any) {
 	_ = sc.ep.Send(sc.serverEP, "pbs", payload, 0)
+}
+
+// sendCause is send carrying the trace-span id of the scheduling
+// decision that produced the command.
+func (sc *Scheduler) sendCause(payload any, cause uint64) {
+	_ = sc.ep.SendCause(sc.serverEP, "pbs", payload, 0, cause)
 }

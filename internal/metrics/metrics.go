@@ -26,6 +26,17 @@ func (s *Sample) Add(d time.Duration) {
 // N reports the number of observations.
 func (s *Sample) N() int { return len(s.values) }
 
+// Merge appends all of o's observations to s, leaving o unchanged.
+// The profiler aggregates per-job phase histograms into per-phase
+// cluster histograms with this; merging then asking for a percentile
+// is equivalent to having observed the union directly.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.values) == 0 {
+		return
+	}
+	s.values = append(s.values, o.values...)
+}
+
 // Mean returns the average observation (zero when empty).
 func (s *Sample) Mean() time.Duration {
 	if len(s.values) == 0 {
@@ -83,15 +94,17 @@ func (s *Sample) Max() time.Duration {
 
 // Percentile returns the p-th percentile (p in [0,100], so P95 is
 // Percentile(95)) using linear interpolation between closest ranks;
-// out-of-range p clamps. It returns zero when empty. The paper-style
-// mean±std hides tails; the observability summary reports P50/P95/P99
-// through this.
+// out-of-range or NaN p clamps to the nearest boundary (NaN to 0), so
+// Percentile(0) is exactly Min, Percentile(100) exactly Max, and a
+// single observation answers every p with itself. It returns zero
+// when empty. The paper-style mean±std hides tails; the observability
+// summary reports P50/P95/P99 through this.
 func (s *Sample) Percentile(p float64) time.Duration {
 	n := len(s.values)
 	if n == 0 {
 		return 0
 	}
-	if p < 0 {
+	if math.IsNaN(p) || p < 0 {
 		p = 0
 	}
 	if p > 100 {
@@ -99,11 +112,19 @@ func (s *Sample) Percentile(p float64) time.Duration {
 	}
 	sorted := append([]float64(nil), s.values...)
 	sort.Float64s(sorted)
+	if p == 0 || n == 1 {
+		return durOf(sorted[0])
+	}
+	if p == 100 {
+		return durOf(sorted[n-1])
+	}
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return durOf(sorted[lo])
+	hi := lo + 1
+	// Guard the index arithmetic against floating-point drift at the
+	// top of the range (p just below 100 can round rank up to n-1).
+	if lo >= n-1 {
+		return durOf(sorted[n-1])
 	}
 	frac := rank - float64(lo)
 	return durOf(sorted[lo] + frac*(sorted[hi]-sorted[lo]))

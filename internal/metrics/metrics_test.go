@@ -170,3 +170,83 @@ func TestPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentileBoundaries(t *testing.T) {
+	two := Sample{}
+	two.Add(10 * time.Millisecond)
+	two.Add(20 * time.Millisecond)
+	single := Sample{}
+	single.Add(7 * time.Millisecond)
+	cases := []struct {
+		name string
+		s    *Sample
+		p    float64
+		want time.Duration
+	}{
+		{"p0 is exactly min", &two, 0, 10 * time.Millisecond},
+		{"p100 is exactly max", &two, 100, 20 * time.Millisecond},
+		{"NaN clamps to p0", &two, math.NaN(), 10 * time.Millisecond},
+		{"negative clamps to p0", &two, -10, 10 * time.Millisecond},
+		{"overshoot clamps to p100", &two, 1e9, 20 * time.Millisecond},
+		{"just below 100 stays in range", &two, math.Nextafter(100, 0), 20 * time.Millisecond},
+		{"n=1 p0", &single, 0, 7 * time.Millisecond},
+		{"n=1 p50", &single, 50, 7 * time.Millisecond},
+		{"n=1 p100", &single, 100, 7 * time.Millisecond},
+		{"n=1 NaN", &single, math.NaN(), 7 * time.Millisecond},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.s.Percentile(c.p)
+			if diff := got - c.want; diff > time.Microsecond || diff < -time.Microsecond {
+				t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSampleMerge(t *testing.T) {
+	var a, b Sample
+	a.Add(10 * time.Millisecond)
+	a.Add(20 * time.Millisecond)
+	b.Add(30 * time.Millisecond)
+	b.Add(40 * time.Millisecond)
+	a.Merge(&b)
+	if a.N() != 4 {
+		t.Fatalf("merged N = %d, want 4", a.N())
+	}
+	if a.Min() != 10*time.Millisecond || a.Max() != 40*time.Millisecond {
+		t.Errorf("merged range = %v..%v", a.Min(), a.Max())
+	}
+	if got, want := a.Mean(), 25*time.Millisecond; got != want {
+		t.Errorf("merged mean = %v, want %v", got, want)
+	}
+	// The source sample is left intact, and nil/empty merges are no-ops.
+	if b.N() != 2 {
+		t.Errorf("source mutated: N = %d", b.N())
+	}
+	a.Merge(nil)
+	a.Merge(&Sample{})
+	if a.N() != 4 {
+		t.Errorf("no-op merges changed N to %d", a.N())
+	}
+}
+
+func TestMergeEquivalentToUnion(t *testing.T) {
+	if err := quick.Check(func(xs, ys []uint32, p uint8) bool {
+		var split, union Sample
+		var other Sample
+		for _, v := range xs {
+			split.Add(time.Duration(v))
+			union.Add(time.Duration(v))
+		}
+		for _, v := range ys {
+			other.Add(time.Duration(v))
+			union.Add(time.Duration(v))
+		}
+		split.Merge(&other)
+		pf := float64(p % 101)
+		return split.N() == union.N() && split.Percentile(pf) == union.Percentile(pf)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

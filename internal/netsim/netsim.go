@@ -75,6 +75,11 @@ type Message struct {
 	Size      int
 	Sent      time.Duration // virtual send time
 	Delivered time.Duration // virtual delivery time
+	// Cause is the id of the trace span whose work produced this
+	// message (0 = untracked). The delivery span links back to it, so
+	// the profiler can stitch cross-host causal chains through the
+	// fabric instead of guessing from timestamps.
+	Cause uint64
 }
 
 // Stats aggregates fabric-level counters.
@@ -327,16 +332,23 @@ func (e *Endpoint) Name() string { return e.name }
 // transfer time. Sending to an unknown endpoint is an error; sending
 // to or from a disconnected endpoint silently drops the message.
 func (e *Endpoint) Send(to, tag string, payload any, size int) error {
-	return e.send(to, tag, payload, size, false)
+	return e.send(to, tag, payload, size, false, 0)
 }
 
 // SendPipelined is Send using the pipelined bulk-transfer protocol
 // (large payloads pay the link latency only once).
 func (e *Endpoint) SendPipelined(to, tag string, payload any, size int) error {
-	return e.send(to, tag, payload, size, true)
+	return e.send(to, tag, payload, size, true, 0)
 }
 
-func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) error {
+// SendCause is Send annotated with the trace-span id that caused the
+// message (0 records nothing). Protocol layers pass the span open at
+// the send site so the delivery span carries a causal link to it.
+func (e *Endpoint) SendCause(to, tag string, payload any, size int, cause uint64) error {
+	return e.send(to, tag, payload, size, false, cause)
+}
+
+func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool, cause uint64) error {
 	n := e.net
 	n.mu.Lock()
 	if n.closed {
@@ -376,6 +388,7 @@ func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) e
 		Payload: payload,
 		Size:    size,
 		Sent:    now,
+		Cause:   cause,
 	}
 	n.sim.After(delay, func() {
 		// Re-check reachability at delivery time so a partition that
@@ -401,7 +414,7 @@ func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool) e
 		// delivery-latency histogram, and per-link traffic counters.
 		if trc := n.sim.Tracer(); trc != nil {
 			link := msg.From + "->" + msg.To
-			trc.AsyncSpanAt("netsim", "msg."+msg.Tag, msg.Sent, msg.Delivered-msg.Sent,
+			trc.AsyncSpanLinkAt("netsim", "msg."+msg.Tag, msg.Cause, msg.Sent, msg.Delivered-msg.Sent,
 				"from", msg.From, "to", msg.To, "size", strconv.Itoa(msg.Size))
 			trc.Add("netsim.msgs."+link, 1)
 			trc.Add("netsim.bytes."+link, int64(msg.Size))

@@ -114,6 +114,11 @@ type JobEnv struct {
 	// the DAC resource-management library recovers its context (MPI
 	// runtime, port registry, devices) through it.
 	Cluster any
+
+	// TaskSpan is the trace-span id of this task's job.run span; DAC
+	// library calls made from the script link their spans to it so the
+	// profiler can attribute accelerator setup to the owning task.
+	TaskSpan uint64
 }
 
 // DynGrant is the successful result of a pbs_dynget call: the

@@ -2,6 +2,7 @@ package pbs
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -33,7 +34,9 @@ type MomParams struct {
 // node's statically allocated accelerator set. It is installed by the
 // cluster wiring (the DAC layer provides the implementation) and runs
 // asynchronously while the job script starts, as in paper Figure 5.
-type DaemonStarter func(jobID, cn string, acHosts []string)
+// cause is the trace-span id of the mother superior's startup, so the
+// daemon-boot spans join the job's causal chain (0 when untraced).
+type DaemonStarter func(jobID, cn string, acHosts []string, cause uint64)
 
 // Mom is a pbs_mom daemon: it joins jobs, launches tasks, and — in
 // the DAC environment — handles dynamic addition and removal of
@@ -118,6 +121,12 @@ func (m *Mom) send(to string, payload any) {
 	_ = m.ep.Send(to, "pbs", payload, 0)
 }
 
+// sendCause is send carrying the trace-span id that produced the
+// message, for the fabric's delivery-span causal link.
+func (m *Mom) sendCause(to string, payload any, cause uint64) {
+	_ = m.ep.SendCause(to, "pbs", payload, 0, cause)
+}
+
 func (m *Mom) handle(msg *netsim.Message) {
 	switch req := msg.Payload.(type) {
 	case RunJobMsg:
@@ -192,6 +201,7 @@ func (m *Mom) runJob(req RunJobMsg) {
 	if trc := m.sim.Tracer(); trc != nil {
 		sp = trc.Start("pbs/mom@"+m.host, "mom.start", "job", req.JobID)
 	}
+	sp.Link(req.Cause) // server's alloc span
 	defer sp.End()
 	m.sim.Sleep(m.params.StartCost)
 	allHosts := append([]string(nil), req.Hosts...)
@@ -236,7 +246,7 @@ func (m *Mom) runJob(req RunJobMsg) {
 			if acs := req.AccHosts[cn]; len(acs) > 0 {
 				cn, acs := cn, acs
 				m.sim.Go(fmt.Sprintf("daemon-start/%s/%s", req.JobID, cn), func() {
-					m.StartDaemons(req.JobID, cn, acs)
+					m.StartDaemons(req.JobID, cn, acs, sp.ID())
 				})
 			}
 		}
@@ -253,7 +263,7 @@ func (m *Mom) runJob(req RunJobMsg) {
 			ServerEP: ServerEndpoint,
 			MSHost:   m.host,
 		}
-		m.send(MomEndpoint(cn), StartTaskMsg{JobID: req.JobID, Env: env, Script: req.Spec.Script})
+		m.sendCause(MomEndpoint(cn), StartTaskMsg{JobID: req.JobID, Env: env, Script: req.Spec.Script, Cause: sp.ID()}, sp.ID())
 	}
 	m.send(ServerEndpoint, JobStartedMsg{JobID: req.JobID})
 }
@@ -274,6 +284,8 @@ func (m *Mom) startTask(req StartTaskMsg) {
 		if trc := m.sim.Tracer(); trc != nil {
 			sp = trc.Start("pbs/mom@"+m.host, "job.run", "job", req.JobID)
 		}
+		sp.Link(req.Cause) // mother superior's mom.start span
+		env.TaskSpan = sp.ID()
 		defer sp.End()
 		if m.Prologue != nil {
 			m.Prologue(env)
@@ -307,6 +319,14 @@ func (m *Mom) taskDone(req TaskDoneMsg) {
 // each new mom (serially, as the paper's mother superior does), tell
 // the existing moms about the enlarged host set, and ack the server.
 func (m *Mom) dynAdd(req DynAddMsg) {
+	// mom.dynadd covers the serial DYNJOIN fan-out plus the host-set
+	// update broadcast — the mother-superior share of a pbs_dynget.
+	var sp *trace.Span
+	if trc := m.sim.Tracer(); trc != nil {
+		sp = trc.Start("pbs/mom@"+m.host, "mom.dynadd", "job", req.JobID, "req", strconv.Itoa(req.ReqID))
+	}
+	sp.Link(req.Cause) // server's dynalloc span
+	defer sp.End()
 	for _, h := range req.Hosts {
 		m.send(MomEndpoint(h), DynJoinJobMsg{JobID: req.JobID, MS: m.host, ReplyTo: m.ep.Name()})
 		if _, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
@@ -331,7 +351,7 @@ func (m *Mom) dynAdd(req DynAddMsg) {
 		}
 		m.send(MomEndpoint(h), UpdateJobMsg{JobID: req.JobID, Hosts: others})
 	}
-	m.send(req.ReplyTo, DynAddAck{JobID: req.JobID, ReqID: req.ReqID})
+	m.sendCause(req.ReplyTo, DynAddAck{JobID: req.JobID, ReqID: req.ReqID, Cause: sp.ID()}, sp.ID())
 }
 
 // dynRemove drives DISJOIN_JOB for a released dynamic set and updates

@@ -499,7 +499,7 @@ func TestStartDaemonsInvoked(t *testing.T) {
 	tb := newTestbed(t, 1, 2, nil)
 	var mu sync.Mutex
 	started := map[string][]string{}
-	tb.moms["cn0"].StartDaemons = func(jobID, cn string, acHosts []string) {
+	tb.moms["cn0"].StartDaemons = func(jobID, cn string, acHosts []string, cause uint64) {
 		mu.Lock()
 		started[cn] = acHosts
 		mu.Unlock()

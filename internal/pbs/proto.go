@@ -197,10 +197,13 @@ type SchedInfoResp struct {
 
 // AllocCmd is the scheduler's decision for a queued job: which
 // compute nodes to use and which accelerators to bind to each.
+// Cause carries the trace-span id of the placement decision so the
+// server's alloc span joins the causal chain (0 when untraced).
 type AllocCmd struct {
 	JobID    string
 	Hosts    []string
 	AccHosts map[string][]string
+	Cause    uint64
 }
 
 // DynAllocCmd is the scheduler's decision for a dynamic request.
@@ -208,6 +211,7 @@ type AllocCmd struct {
 type DynAllocCmd struct {
 	ReqID int
 	Hosts []string
+	Cause uint64 // trace-span id of the scheduling decision
 }
 
 // --- Server <-> mom ---
@@ -218,6 +222,7 @@ type RunJobMsg struct {
 	Spec     JobSpec
 	Hosts    []string
 	AccHosts map[string][]string
+	Cause    uint64 // trace-span id of the server's alloc handling
 }
 
 // JoinJobMsg is the JOIN_JOB request from the mother superior to a
@@ -242,6 +247,7 @@ type StartTaskMsg struct {
 	JobID  string
 	Env    *JobEnv
 	Script Script
+	Cause  uint64 // trace-span id of the mother superior's job start
 }
 
 // TaskDoneMsg reports a compute node task's completion to the mother
@@ -276,6 +282,7 @@ type DynAddMsg struct {
 	CN       string // compute node that requested the set
 	Hosts    []string
 	ReplyTo  string // server endpoint expecting DynAddAck
+	Cause    uint64 // trace-span id of the server's dynalloc handling
 }
 
 // DynJoinJobMsg is the DYNJOIN_JOB request from the mother superior
@@ -297,6 +304,7 @@ type DynJoinAck struct {
 type DynAddAck struct {
 	JobID string
 	ReqID int
+	Cause uint64 // trace-span id of the mom's dynadd handling
 }
 
 // UpdateJobMsg refreshes a sister mom's view of the job's host set

@@ -154,7 +154,13 @@ func (s *Server) Start() {
 }
 
 func (s *Server) send(to string, payload any) {
-	if err := s.ep.Send(to, "pbs", payload, 0); err != nil {
+	s.sendCause(to, payload, 0)
+}
+
+// sendCause is send with the trace-span id that produced the message,
+// so the fabric's delivery span links back to the causing work.
+func (s *Server) sendCause(to string, payload any, cause uint64) {
+	if err := s.ep.SendCause(to, "pbs", payload, 0, cause); err != nil {
 		s.mu.Lock()
 		s.errs = append(s.errs, fmt.Sprintf("send to %s: %v", to, err))
 		s.mu.Unlock()
@@ -444,6 +450,7 @@ func (s *Server) handleDynGet(req DynGetReq) {
 	}
 	s.dynQ = append(s.dynQ, rec)
 	s.dynReply[rec.ReqID] = dynReplyTo{ep: req.ReplyTo, clientReq: req.ReqID}
+	sp.Annotate("req", strconv.Itoa(rec.ReqID))
 	s.startNextDynLocked()
 	s.mu.Unlock()
 }
@@ -560,6 +567,7 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 
 func (s *Server) handleAlloc(cmd AllocCmd) {
 	sp := s.sim.Tracer().Start(ServerTrack, "alloc", "job", cmd.JobID)
+	sp.Link(cmd.Cause) // scheduler's place span
 	defer sp.End()
 	s.mu.Lock()
 	j, ok := s.jobs[cmd.JobID]
@@ -619,10 +627,14 @@ func (s *Server) handleAlloc(cmd AllocCmd) {
 
 	// Select the mother superior (always a compute node, paper
 	// Section III-C) and forward the job.
-	s.send(MomEndpoint(hosts[0]), RunJobMsg{JobID: cmd.JobID, Spec: spec, Hosts: hosts, AccHosts: acc})
+	s.sendCause(MomEndpoint(hosts[0]),
+		RunJobMsg{JobID: cmd.JobID, Spec: spec, Hosts: hosts, AccHosts: acc, Cause: sp.ID()}, sp.ID())
 }
 
 func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
+	sp := s.sim.Tracer().Start(ServerTrack, "dynalloc", "req", strconv.Itoa(cmd.ReqID))
+	sp.Link(cmd.Cause) // scheduler's sched.dyn span
+	defer sp.End()
 	s.mu.Lock()
 	var rec *DynRecord
 	for _, r := range s.dynQ {
@@ -636,6 +648,7 @@ func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
 		s.logErr("DynAllocCmd for unknown request %d", cmd.ReqID)
 		return
 	}
+	sp.Annotate("job", rec.JobID)
 	rec.AllocAt = s.sim.Now()
 	route := s.dynReply[rec.ReqID]
 	if len(cmd.Hosts) == 0 {
@@ -698,13 +711,16 @@ func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
 	ms := j.info.Hosts[0]
 	s.mu.Unlock()
 
-	s.send(MomEndpoint(ms), DynAddMsg{
+	s.sendCause(MomEndpoint(ms), DynAddMsg{
 		JobID: rec.JobID, ReqID: rec.ReqID, ClientID: rec.ClientID,
-		CN: rec.CN, Hosts: rec.Hosts, ReplyTo: ServerEndpoint,
-	})
+		CN: rec.CN, Hosts: rec.Hosts, ReplyTo: ServerEndpoint, Cause: sp.ID(),
+	}, sp.ID())
 }
 
 func (s *Server) handleDynAddAck(ack DynAddAck) {
+	sp := s.sim.Tracer().Start(ServerTrack, "dynack", "req", strconv.Itoa(ack.ReqID))
+	sp.Link(ack.Cause) // mother superior's mom.dynadd span
+	defer sp.End()
 	s.mu.Lock()
 	var rec *DynRecord
 	for _, r := range s.dynQ {
@@ -718,6 +734,7 @@ func (s *Server) handleDynAddAck(ack DynAddAck) {
 		s.logErr("DynAddAck for unknown request %d", ack.ReqID)
 		return
 	}
+	sp.Annotate("job", rec.JobID)
 	rec.ForwardedAt = s.sim.Now()
 	rec.State = DynGranted
 	rec.RepliedAt = s.sim.Now()
@@ -743,7 +760,8 @@ func (s *Server) finishDynLocked(rec *DynRecord) {
 			outcome = "rejected"
 		}
 		trc.AsyncSpanAt(ServerTrack, "dyn.request", rec.ArrivedAt, rec.RepliedAt-rec.ArrivedAt,
-			"job", rec.JobID, "count", fmt.Sprint(rec.Count), "outcome", outcome)
+			"job", rec.JobID, "count", fmt.Sprint(rec.Count), "outcome", outcome,
+			"req", strconv.Itoa(rec.ReqID))
 	}
 	delete(s.dynReply, rec.ReqID)
 	for i, r := range s.dynQ {

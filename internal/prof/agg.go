@@ -1,0 +1,261 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Summary aggregates a profile's exact per-job attributions into
+// per-phase distributions plus a critical-path breakdown by owner.
+type Summary struct {
+	Static   map[string]*metrics.Sample // static phase → distribution
+	Dyn      map[string]*metrics.Sample // dynamic phase → distribution
+	Total    *metrics.Sample            // end-to-end job latency
+	DynTotal *metrics.Sample            // end-to-end dynamic request latency
+	Path     map[string]time.Duration   // critical-path time by owner
+	Jobs     int
+	Dyns     int
+	Rejected int
+}
+
+// Summarize aggregates one profile.
+func Summarize(p *Profile) *Summary {
+	s := &Summary{
+		Static:   make(map[string]*metrics.Sample),
+		Dyn:      make(map[string]*metrics.Sample),
+		Total:    &metrics.Sample{},
+		DynTotal: &metrics.Sample{},
+		Path:     make(map[string]time.Duration),
+		Jobs:     len(p.Jobs),
+		Dyns:     len(p.Dyns),
+		Rejected: p.Rejected,
+	}
+	obs := func(m map[string]*metrics.Sample, name string, d time.Duration) {
+		sm, ok := m[name]
+		if !ok {
+			sm = &metrics.Sample{}
+			m[name] = sm
+		}
+		sm.Add(d)
+	}
+	for i := range p.Jobs {
+		j := &p.Jobs[i]
+		s.Total.Add(j.Total())
+		for _, ph := range j.Phases {
+			obs(s.Static, ph.Name, ph.Dur)
+		}
+		for _, seg := range j.Path {
+			s.Path[seg.Owner] += seg.Dur
+		}
+	}
+	for i := range p.Dyns {
+		d := &p.Dyns[i]
+		s.DynTotal.Add(d.Total)
+		for _, ph := range d.Phases {
+			obs(s.Dyn, ph.Name, ph.Dur)
+		}
+	}
+	return s
+}
+
+// Merge folds another summary into s (distributions are merged
+// observation-by-observation, critical-path shares are summed), so
+// several captures aggregate as if analyzed together.
+func (s *Summary) Merge(o *Summary) {
+	mergeInto := func(dst, src map[string]*metrics.Sample) {
+		for name, sm := range src {
+			d, ok := dst[name]
+			if !ok {
+				d = &metrics.Sample{}
+				dst[name] = d
+			}
+			d.Merge(sm)
+		}
+	}
+	mergeInto(s.Static, o.Static)
+	mergeInto(s.Dyn, o.Dyn)
+	s.Total.Merge(o.Total)
+	s.DynTotal.Merge(o.DynTotal)
+	for owner, d := range o.Path {
+		s.Path[owner] += d
+	}
+	s.Jobs += o.Jobs
+	s.Dyns += o.Dyns
+	s.Rejected += o.Rejected
+}
+
+// OwnerShare is one critical-path owner and its summed share.
+type OwnerShare struct {
+	Owner string
+	Dur   time.Duration
+}
+
+// TopPath returns the n owners with the largest critical-path share,
+// largest first (ties broken by owner name for determinism).
+func (s *Summary) TopPath(n int) []OwnerShare {
+	out := make([]OwnerShare, 0, len(s.Path))
+	for owner, d := range s.Path {
+		out = append(out, OwnerShare{Owner: owner, Dur: d})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dur != out[b].Dur {
+			return out[a].Dur > out[b].Dur
+		}
+		return out[a].Owner < out[b].Owner
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// pct renders a share of a total as a percentage.
+func pct(part, total time.Duration) string {
+	if total <= 0 {
+		return "0.0"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(part)/float64(total))
+}
+
+// phaseRows appends one table row per phase in canonical order.
+func phaseRows(t *metrics.Table, names []string, m map[string]*metrics.Sample, total *metrics.Sample) {
+	var meanSum time.Duration
+	for _, name := range names {
+		if sm := m[name]; sm != nil {
+			meanSum += sm.Mean()
+		}
+	}
+	for _, name := range names {
+		sm := m[name]
+		if sm == nil {
+			continue
+		}
+		t.AddRow(name, metrics.Ms(sm.Mean()), metrics.Ms(sm.Max()), pct(sm.Mean(), meanSum))
+	}
+	t.AddRow("total", metrics.Ms(total.Mean()), metrics.Ms(total.Max()), "100.0")
+}
+
+// StaticTable renders the static allocation phases (mean over jobs).
+func (s *Summary) StaticTable() *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Static allocation phases (%d jobs) [ms]", s.Jobs),
+		Headers: []string{"phase", "mean", "max", "share_pct"},
+	}
+	phaseRows(t, StaticPhases, s.Static, s.Total)
+	return t
+}
+
+// DynTable renders the dynamic request phases (mean over requests).
+func (s *Summary) DynTable() *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Dynamic request phases (%d requests, %d rejected) [ms]", s.Dyns, s.Rejected),
+		Headers: []string{"phase", "mean", "max", "share_pct"},
+	}
+	phaseRows(t, DynPhases, s.Dyn, s.DynTotal)
+	return t
+}
+
+// PathTable renders the top-n critical-path owners.
+func (s *Summary) PathTable(n int) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Critical path by owner (summed over jobs) [ms]",
+		Headers: []string{"owner", "total", "share_pct"},
+	}
+	var total time.Duration
+	for _, d := range s.Path {
+		total += d
+	}
+	for _, os := range s.TopPath(n) {
+		t.AddRow(os.Owner, metrics.Ms(os.Dur), pct(os.Dur, total))
+	}
+	return t
+}
+
+// JobTable renders the exact per-job attribution, one row per job.
+func JobTable(p *Profile) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Per-job phase attribution (virtual time, sums exactly) [ms]",
+		Headers: append(append([]string{"job"}, StaticPhases...), "total"),
+	}
+	for i := range p.Jobs {
+		j := &p.Jobs[i]
+		row := []string{j.ID}
+		for _, ph := range j.Phases {
+			row = append(row, metrics.Ms(ph.Dur))
+		}
+		row = append(row, metrics.Ms(j.Total()))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// PhaseDelta is one phase's drift between two captures.
+type PhaseDelta struct {
+	Name     string
+	Old, New time.Duration // per-phase means
+	Delta    time.Duration // New - Old
+}
+
+// Diff compares per-phase means between two summaries (old → new),
+// static phases first, then dynamic, in canonical order. Phases
+// absent from both are skipped; absent from one side read as zero.
+func Diff(old, new *Summary) []PhaseDelta {
+	var out []PhaseDelta
+	add := func(names []string, om, nm map[string]*metrics.Sample) {
+		for _, name := range names {
+			osm, nsm := om[name], nm[name]
+			if osm == nil && nsm == nil {
+				continue
+			}
+			var o, n time.Duration
+			if osm != nil {
+				o = osm.Mean()
+			}
+			if nsm != nil {
+				n = nsm.Mean()
+			}
+			out = append(out, PhaseDelta{Name: name, Old: o, New: n, Delta: n - o})
+		}
+	}
+	add(StaticPhases, old.Static, new.Static)
+	add(DynPhases, old.Dyn, new.Dyn)
+	return out
+}
+
+// TopDrifter names the phase with the largest absolute drift — the
+// answer to "which phase is responsible for the regression". Ties go
+// to the later phase in canonical order: a slowdown inside a dynamic
+// request also widens the enclosing job's run phase by exactly the
+// same amount, and the dynamic phase is the more specific culprit.
+// ok is false when there is nothing to compare.
+func TopDrifter(deltas []PhaseDelta) (PhaseDelta, bool) {
+	var best PhaseDelta
+	ok := false
+	abs := func(d time.Duration) time.Duration {
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	for _, d := range deltas {
+		if !ok || abs(d.Delta) >= abs(best.Delta) {
+			best, ok = d, true
+		}
+	}
+	return best, ok
+}
+
+// DiffTable renders a phase drift comparison.
+func DiffTable(deltas []PhaseDelta) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Phase drift (new - old, per-phase means) [ms]",
+		Headers: []string{"phase", "old", "new", "delta"},
+	}
+	for _, d := range deltas {
+		t.AddRow(d.Name, metrics.Ms(d.Old), metrics.Ms(d.New), metrics.Ms(d.Delta))
+	}
+	return t
+}

@@ -1,0 +1,226 @@
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// pathIndex is the event graph used for critical-path extraction:
+// events indexed by span id, children keyed by parent id (same-track
+// nesting), and effects keyed by cause id (cross-track Links).
+type pathIndex struct {
+	events   []trace.Event
+	byID     map[uint64]int
+	children map[uint64][]int
+	effects  map[uint64][]int
+}
+
+func newPathIndex(events []trace.Event) *pathIndex {
+	ix := &pathIndex{
+		events:   events,
+		byID:     make(map[uint64]int),
+		children: make(map[uint64][]int),
+		effects:  make(map[uint64][]int),
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != trace.KindSpan || ev.ID == 0 {
+			continue
+		}
+		ix.byID[ev.ID] = i
+		if ev.Parent != 0 {
+			ix.children[ev.Parent] = append(ix.children[ev.Parent], i)
+		}
+		for _, cause := range ev.Links {
+			ix.effects[cause] = append(ix.effects[cause], i)
+		}
+	}
+	return ix
+}
+
+// jobSpans collects the indices of the spans causally associated with
+// one job: the spans annotated job=id, their same-track descendants,
+// the cross-track spans their work caused (following Links), and —
+// without further expansion — their ancestors, which supply context
+// like the scheduler cycle a placement happened in. Expanding
+// children or links of ancestors is deliberately avoided: a shared
+// scheduler cycle would otherwise pull every concurrent job's spans
+// into this job's path.
+func (ix *pathIndex) jobSpans(jobID string) []int {
+	in := make(map[int]bool)
+	var queue []int
+	for i := range ix.events {
+		ev := &ix.events[i]
+		if ev.Kind == trace.KindSpan && arg(ev, "job") == jobID {
+			in[i] = true
+			queue = append(queue, i)
+		}
+	}
+	seeds := append([]int(nil), queue...)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		id := ix.events[i].ID
+		for _, j := range ix.children[id] {
+			if !in[j] {
+				in[j] = true
+				queue = append(queue, j)
+			}
+		}
+		for _, j := range ix.effects[id] {
+			if !in[j] {
+				in[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	for _, i := range seeds {
+		for par := ix.events[i].Parent; par != 0; {
+			j, ok := ix.byID[par]
+			if !ok || in[j] {
+				break
+			}
+			in[j] = true
+			par = ix.events[j].Parent
+		}
+	}
+	out := make([]int, 0, len(in))
+	for i := range in {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// criticalPath sweeps the job's timeline [from, to) and attributes
+// each instant to the deepest job-associated span covering it — the
+// component actually working (or being waited on) at that moment.
+// Depth is by interval containment: among covering spans the one that
+// started last wins (ties: shorter, then track/name/id order), so
+// e.g. a connect sub-span beats its ac.init parent, which beats the
+// enclosing job.run. Instants with no covering span report as
+// "(wait)". Consecutive same-owner segments are merged.
+func (ix *pathIndex) criticalPath(jobID string, from, to time.Duration) []PathSegment {
+	if to <= from {
+		return nil
+	}
+	type span struct {
+		st, en time.Duration
+		owner  string
+		id     uint64
+	}
+	var spans []span
+	for _, i := range ix.jobSpans(jobID) {
+		ev := &ix.events[i]
+		st, en := ev.Start, ev.Start+ev.Dur
+		if st < from {
+			st = from
+		}
+		if en > to {
+			en = to
+		}
+		if en <= st {
+			continue
+		}
+		spans = append(spans, span{st: st, en: en, owner: component(ev.Track) + ";" + ev.Name, id: ev.ID})
+	}
+	bounds := []time.Duration{from, to}
+	for _, s := range spans {
+		bounds = append(bounds, s.st, s.en)
+	}
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+	var path []PathSegment
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if hi <= lo {
+			continue
+		}
+		owner := "(wait)"
+		var best *span
+		for j := range spans {
+			s := &spans[j]
+			if s.st > lo || s.en < hi {
+				continue
+			}
+			if best == nil || s.st > best.st ||
+				(s.st == best.st && (s.en < best.en ||
+					(s.en == best.en && (s.owner < best.owner ||
+						(s.owner == best.owner && s.id < best.id))))) {
+				best = s
+			}
+		}
+		if best != nil {
+			owner = best.owner
+		}
+		if n := len(path); n > 0 && path[n-1].Owner == owner {
+			path[n-1].Dur += hi - lo
+			continue
+		}
+		path = append(path, PathSegment{Owner: owner, Start: lo, Dur: hi - lo})
+	}
+	return path
+}
+
+// WriteFolded renders the span stream as folded flamegraph stacks
+// ("track;span;subspan weight"), one line per unique stack with the
+// summed self time in nanoseconds as the weight — the format
+// flamegraph.pl and inferno consume directly. Tracks are aggregated
+// per component (the @host suffix is stripped), and a span's self
+// time is its duration minus its children's, clamped at zero, so the
+// stack weights sum to the trace's total span time.
+func WriteFolded(w io.Writer, events []trace.Event) error {
+	byID := make(map[uint64]int)
+	childSum := make(map[uint64]time.Duration)
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != trace.KindSpan || ev.ID == 0 {
+			continue
+		}
+		byID[ev.ID] = i
+		if ev.Parent != 0 {
+			childSum[ev.Parent] += ev.Dur
+		}
+	}
+	weights := make(map[string]time.Duration)
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != trace.KindSpan || ev.ID == 0 {
+			continue
+		}
+		self := ev.Dur - childSum[ev.ID]
+		if self < 0 {
+			self = 0
+		}
+		var names []string
+		for e := ev; ; {
+			names = append(names, e.Name)
+			j, ok := byID[e.Parent]
+			if e.Parent == 0 || !ok {
+				break
+			}
+			e = &events[j]
+		}
+		stack := component(ev.Track)
+		for j := len(names) - 1; j >= 0; j-- {
+			stack += ";" + names[j]
+		}
+		weights[stack] += self
+	}
+	stacks := make([]string, 0, len(weights))
+	for s := range weights {
+		stacks = append(stacks, s)
+	}
+	sort.Strings(stacks)
+	bw := bufio.NewWriter(w)
+	for _, s := range stacks {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", s, int64(weights[s])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace captures: the on-disk format cmd/dacprof consumes. One
+// JSON-encoded Event per line (JSONL), timestamps in integer
+// nanoseconds of virtual time. Virtual time makes captures exactly
+// reproducible, so two captures of the same configuration are
+// byte-identical and a diff between captures isolates behavioural
+// change — the property the profiler's regression-attribution mode
+// relies on.
+
+// WriteCapture writes events as JSONL, one event per line.
+func WriteCapture(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCapture writes the tracer's recorded events; see the package
+// function.
+func (t *Tracer) WriteCapture(w io.Writer) error {
+	return WriteCapture(w, t.Events())
+}
+
+// ReadCapture parses a JSONL capture back into events. Blank lines
+// are skipped, so captures survive concatenation and manual editing.
+func ReadCapture(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("trace: capture line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading capture: %w", err)
+	}
+	return out, nil
+}

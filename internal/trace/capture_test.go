@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	tr := New()
+	clk := &manualClock{}
+	tr.SetClock(clk.read)
+	root := tr.Start("pbs/server", "submit", "job", "J1")
+	clk.advance(2 * time.Millisecond)
+	child := root.Child("alloc")
+	clk.advance(time.Millisecond)
+	child.End()
+	root.End()
+	tr.AsyncSpanLinkAt("netsim", "msg.pbs", root.ID(), 500*time.Microsecond, 200*time.Microsecond,
+		"from", "cn0", "to", "pbs/server")
+	tr.InstantAt("pbs/server", "acct.Q", 2*time.Millisecond, "job", "J1")
+
+	var buf bytes.Buffer
+	if err := tr.WriteCapture(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip drifted:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	// The async message span must carry its causal link.
+	var msg *Event
+	for i := range got {
+		if got[i].Name == "msg.pbs" {
+			msg = &got[i]
+		}
+	}
+	if msg == nil || len(msg.Links) != 1 || msg.Links[0] != root.ID() {
+		t.Fatalf("message links = %+v, want [%d]", msg, root.ID())
+	}
+}
+
+func TestCaptureSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"Kind":1,"Track":"x","Name":"i","Start":5,"Dur":0,"ID":0,"Parent":0,"Async":false,"Args":null,"Links":null}` + "\n\n"
+	evs, err := ReadCapture(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != KindInstant || evs[0].Start != 5 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestCaptureRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage capture parsed without error")
+	}
+}
+
+func TestSpanLink(t *testing.T) {
+	tr := New()
+	a := tr.Start("maui", "place")
+	a.End()
+	b := tr.Start("pbs/server", "alloc")
+	b.Link(a.ID())
+	b.Link(0) // zero ids (nil-span causes) are ignored
+	b.End()
+	evs := tr.Events()
+	if len(evs[0].Links) != 0 {
+		t.Errorf("unlinked span has links %v", evs[0].Links)
+	}
+	if len(evs[1].Links) != 1 || evs[1].Links[0] != a.ID() {
+		t.Errorf("links = %v, want [%d]", evs[1].Links, a.ID())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	tr := New()
+	tr.SetLimit(2)
+	var seen int
+	tr.Subscribe(func(Event) { seen++ })
+	for i := 0; i < 5; i++ {
+		tr.Instant("x", "i")
+	}
+	if n := len(tr.Events()); n != 2 {
+		t.Fatalf("retained %d events, want 2", n)
+	}
+	if d := tr.Dropped(); d != 3 {
+		t.Fatalf("dropped = %d, want 3", d)
+	}
+	// Subscribers and metrics registries are not bounded by the limit.
+	if seen != 5 {
+		t.Fatalf("subscriber saw %d events, want 5", seen)
+	}
+	// The drop count surfaces in the text summary.
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace.dropped_events") || !strings.Contains(buf.String(), "3") {
+		t.Fatalf("summary does not surface dropped events:\n%s", buf.String())
+	}
+	// Lifting the limit resumes recording.
+	tr.SetLimit(0)
+	tr.Instant("x", "i")
+	if n := len(tr.Events()); n != 3 {
+		t.Fatalf("retained %d events after lifting limit, want 3", n)
+	}
+}
+
+func TestChromeEmitsLinks(t *testing.T) {
+	tr := New()
+	a := tr.Start("maui", "place")
+	a.End()
+	tr.AsyncSpanLinkAt("netsim", "msg.pbs", a.ID(), 0, time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"links":"1"`) {
+		t.Fatalf("chrome export missing links arg:\n%s", buf.String())
+	}
+}

@@ -109,9 +109,22 @@ func WriteChrome(w io.Writer, events []Event) error {
 	}
 	micros := func(ns int64) float64 { return float64(ns) / 1e3 }
 	for _, ev := range events {
-		args := make(map[string]string, len(ev.Args)+2)
+		args := make(map[string]string, len(ev.Args)+3)
 		for _, kv := range ev.Args {
 			args[kv.Key] = kv.Value
+		}
+		// Cross-track causal links ride in args (the trace-event format
+		// has no native field for them); emitted only when present so
+		// link-free traces keep their exact historical shape.
+		if len(ev.Links) > 0 {
+			var links string
+			for i, id := range ev.Links {
+				if i > 0 {
+					links += ","
+				}
+				links += strconv.FormatUint(id, 10)
+			}
+			args["links"] = links
 		}
 		var err error
 		switch ev.Kind {

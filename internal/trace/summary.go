@@ -37,6 +37,7 @@ func (t *Tracer) SummaryTables() []*metrics.Table {
 	for _, k := range gaugeKey {
 		gauges[k] = t.gauges[k]
 	}
+	dropped := t.dropped
 	t.mu.Unlock()
 
 	var out []*metrics.Table
@@ -59,10 +60,15 @@ func (t *Tracer) SummaryTables() []*metrics.Table {
 		}
 		out = append(out, tb)
 	}
-	if len(counterKey) > 0 {
+	if len(counterKey) > 0 || dropped > 0 {
 		tb := &metrics.Table{Title: "Counters", Headers: []string{"counter", "value"}}
 		for _, k := range counterKey {
 			tb.AddRow(k, fmt.Sprint(counters[k]))
+		}
+		// The buffer limit (SetLimit) silently discards events once
+		// full; a summary that hides that would misreport coverage.
+		if dropped > 0 {
+			tb.AddRow("trace.dropped_events", fmt.Sprint(dropped))
 		}
 		out = append(out, tb)
 	}

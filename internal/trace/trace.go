@@ -61,16 +61,23 @@ type Event struct {
 	Parent uint64        // parent span id (0 = root)
 	Async  bool          // may overlap others on its track (in-flight messages)
 	Args   []KV
+	// Links are causal edges to spans on other tracks: the ids of the
+	// spans whose work produced this one (a message delivery links to
+	// the sender's span, a mom.start links to the server's alloc).
+	// Parent expresses same-track nesting; Links cross tracks.
+	Links []uint64
 }
 
 // Tracer records events and aggregates metrics. Create with New; a
 // nil Tracer is the disabled, allocation-free no-op.
 type Tracer struct {
-	mu     sync.Mutex
-	clock  func() time.Duration
-	nextID uint64
-	events []Event
-	subs   []func(Event)
+	mu      sync.Mutex
+	clock   func() time.Duration
+	nextID  uint64
+	events  []Event
+	subs    []func(Event)
+	limit   int   // max retained events; 0 = unbounded
+	dropped int64 // events discarded once the limit was hit
 
 	counters   map[string]int64
 	gauges     map[string]float64
@@ -139,6 +146,7 @@ type Span struct {
 	id     uint64
 	parent uint64
 	args   []KV
+	links  []uint64
 	ended  bool
 }
 
@@ -181,6 +189,17 @@ func (s *Span) Annotate(key, value string) {
 	s.args = append(s.args, KV{key, value})
 }
 
+// Link records a causal edge from the span with the given id (usually
+// on another track) to this span: the linked span's work caused this
+// one. A zero id (from a nil span's ID) is ignored, so callers can
+// thread ids through messages unconditionally.
+func (s *Span) Link(id uint64) {
+	if s == nil || id == 0 {
+		return
+	}
+	s.links = append(s.links, id)
+}
+
 // ID returns the span's id (0 for the nil span).
 func (s *Span) ID() uint64 {
 	if s == nil {
@@ -206,7 +225,7 @@ func (s *Span) End() {
 	ev := Event{
 		Kind: KindSpan, Track: s.track, Name: s.name,
 		Start: s.start, Dur: now - s.start,
-		ID: s.id, Parent: s.parent, Args: s.args,
+		ID: s.id, Parent: s.parent, Args: s.args, Links: s.links,
 	}
 	t.publishLocked(ev)
 	t.observeLocked(histTrack(s.track)+"."+s.name, ev.Dur)
@@ -221,7 +240,7 @@ func (s *Span) End() {
 // start and duration after the fact, like message delivery). It feeds
 // the same histogram Start/End would.
 func (t *Tracer) SpanAt(track, name string, start, dur time.Duration, kvs ...string) {
-	t.spanAt(track, name, start, dur, false, kvs)
+	t.spanAt(track, name, start, dur, false, 0, kvs)
 }
 
 // AsyncSpanAt is SpanAt for intervals that legitimately overlap
@@ -229,16 +248,27 @@ func (t *Tracer) SpanAt(track, name string, start, dur time.Duration, kvs ...str
 // Chrome exporter renders them as async (b/e) events, which viewers
 // allow to interleave.
 func (t *Tracer) AsyncSpanAt(track, name string, start, dur time.Duration, kvs ...string) {
-	t.spanAt(track, name, start, dur, true, kvs)
+	t.spanAt(track, name, start, dur, true, 0, kvs)
 }
 
-func (t *Tracer) spanAt(track, name string, start, dur time.Duration, async bool, kvs []string) {
+// AsyncSpanLinkAt is AsyncSpanAt with a causal link to the span whose
+// work produced the interval (the sender's span for a message
+// delivery). A zero cause records no link.
+func (t *Tracer) AsyncSpanLinkAt(track, name string, cause uint64, start, dur time.Duration, kvs ...string) {
+	t.spanAt(track, name, start, dur, true, cause, kvs)
+}
+
+func (t *Tracer) spanAt(track, name string, start, dur time.Duration, async bool, cause uint64, kvs []string) {
 	if t == nil {
 		return
 	}
+	var links []uint64
+	if cause != 0 {
+		links = []uint64{cause}
+	}
 	t.mu.Lock()
 	t.nextID++
-	ev := Event{Kind: KindSpan, Track: track, Name: name, Start: start, Dur: dur, ID: t.nextID, Async: async, Args: pairs(kvs)}
+	ev := Event{Kind: KindSpan, Track: track, Name: name, Start: start, Dur: dur, ID: t.nextID, Async: async, Args: pairs(kvs), Links: links}
 	t.publishLocked(ev)
 	t.observeLocked(histTrack(track)+"."+name, dur)
 	subs := t.subs
@@ -280,9 +310,41 @@ func (t *Tracer) InstantAt(track, name string, at time.Duration, kvs ...string) 
 	}
 }
 
-// publishLocked appends to the event log. Callers hold t.mu.
+// publishLocked appends to the event log, discarding once the
+// configured limit is reached. Callers hold t.mu.
 func (t *Tracer) publishLocked(ev Event) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
 	t.events = append(t.events, ev)
+}
+
+// SetLimit caps the retained event log at n events; once full, later
+// events are discarded (and counted — see Dropped) instead of growing
+// the buffer without bound at 256-node scale. Metrics registries and
+// subscribers still see every event; only the replayable log is
+// bounded. n <= 0 restores the default unbounded buffer.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Dropped reports how many events the limit discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Subscribe registers a sink invoked for every subsequent span/instant

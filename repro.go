@@ -25,6 +25,7 @@ import (
 	"repro/internal/maui"
 	"repro/internal/netsim"
 	"repro/internal/pbs"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -91,6 +92,43 @@ const (
 // NewTracer creates an enabled tracer. Dump it with WriteChrome
 // (Perfetto / chrome://tracing) or WriteSummary (aligned tables).
 func NewTracer() *Tracer { return trace.New() }
+
+// Capture files: a JSONL stream of trace events, the interchange
+// format between dacsim (-fig breakdown -capture) and dacprof.
+var (
+	WriteCapture = trace.WriteCapture
+	ReadCapture  = trace.ReadCapture
+)
+
+// Profiling (see internal/prof): the causal critical-path profiler
+// with exact per-phase overhead attribution.
+type (
+	// Profile is the exact per-job attribution of one capture.
+	Profile = prof.Profile
+	// JobProfile decomposes one job's end-to-end latency into causal
+	// phases that sum exactly (integer virtual time) to the total.
+	JobProfile = prof.JobProfile
+	// DynProfile decomposes one dynamic request the same way.
+	DynProfile = prof.DynProfile
+	// ProfileSummary aggregates per-phase distributions and the
+	// critical-path breakdown by owner.
+	ProfileSummary = prof.Summary
+)
+
+// Profiler entry points.
+var (
+	// AnalyzeProfile reconstructs every job's causal chain from a
+	// span stream (Tracer.Events or ReadCapture).
+	AnalyzeProfile = prof.Analyze
+	// SummarizeProfile aggregates a profile; summaries merge.
+	SummarizeProfile = prof.Summarize
+	// WriteFolded renders a span stream as flamegraph folded stacks.
+	WriteFolded = prof.WriteFolded
+	// ProfileDiff and TopDrifter name the phase responsible for drift
+	// between two captures.
+	ProfileDiff = prof.Diff
+	TopDrifter  = prof.TopDrifter
+)
 
 // Fabric is the simulated cluster interconnect (exposed through
 // Cluster.Net for failure injection via SetDown / SetHostDown).
@@ -226,6 +264,9 @@ type (
 	// ScalePoint is one row of the cluster-scale experiment (scheduler
 	// cycle time and dynamic-request latency vs cluster size).
 	ScalePoint = core.ScalePoint
+	// BreakdownPoint is one row of the profiler's breakdown figure
+	// (per-phase latency attribution vs cluster size).
+	BreakdownPoint = core.BreakdownPoint
 )
 
 // Experiment functions and table renderers.
@@ -250,6 +291,13 @@ var (
 	Scale      = core.Scale
 	ScaleTable = core.ScaleTable
 	ScaleSizes = core.ScaleSizes
+
+	// Breakdown runs the causal profiler over the scale ladder: the
+	// paper's static-vs-dynamic overhead decomposition, per phase,
+	// at every cluster size.
+	Breakdown         = core.Breakdown
+	BreakdownTable    = core.BreakdownTable
+	DynBreakdownTable = core.DynBreakdownTable
 
 	AblationDynPriority          = core.AblationDynPriority
 	AblationCollectiveGet        = core.AblationCollectiveGet
