@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/kernelbench"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -203,6 +204,21 @@ func BenchmarkAblationSchedulerPortability(b *testing.B) {
 }
 
 // --- simulator micro-benchmarks (real wall time) ---
+
+// The three kernel hot-path benchmarks live in internal/kernelbench so
+// cmd/dacbench can also run them via testing.Benchmark and record
+// their allocs/op as regression-gated series.
+
+// BenchmarkEventDispatch measures closure-free timer dispatch
+// (AfterArg schedule + controller pop + callback).
+func BenchmarkEventDispatch(b *testing.B) { kernelbench.EventDispatch(b) }
+
+// BenchmarkSleepWake measures the pooled park/dispatch/wake round trip.
+func BenchmarkSleepWake(b *testing.B) { kernelbench.SleepWake(b) }
+
+// BenchmarkNetsimHop measures one arena-backed fabric hop
+// (send → deliver → recv → release).
+func BenchmarkNetsimHop(b *testing.B) { kernelbench.NetsimHop(b) }
 
 // BenchmarkSimSleepEvents measures the event-queue throughput of the
 // virtual-time kernel.

@@ -24,9 +24,11 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"testing"
 	"time"
 
 	"repro"
+	"repro/internal/kernelbench"
 )
 
 // Report is the BENCH_<date>.json schema. Series maps a stable name
@@ -39,6 +41,10 @@ type Report struct {
 	Trials        int                `json:"trials"`
 	Series        map[string]float64 `json:"series_virtual_ms"`
 	Wall          map[string]float64 `json:"wall_seconds"`
+	// Allocs records the kernel microbenchmarks' allocs/op. Unlike the
+	// wall times these are deterministic (the hot paths are pinned at
+	// zero by tier-1 tests), so compare gates on any growth.
+	Allocs map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 func vms(d time.Duration) float64 { return float64(d) / 1e6 }
@@ -51,6 +57,7 @@ func record(trials int, scaleSizes []int) (*Report, error) {
 		Trials:        trials,
 		Series:        make(map[string]float64),
 		Wall:          make(map[string]float64),
+		Allocs:        make(map[string]float64),
 	}
 	params := repro.DefaultParams()
 
@@ -139,6 +146,21 @@ func record(trials int, scaleSizes []int) (*Report, error) {
 		}
 	}
 
+	// Kernel microbenchmarks: allocs/op is the gated number; ns/op is
+	// host-dependent and rides along in Wall for the log only.
+	for _, kb := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"kernel/event_dispatch", kernelbench.EventDispatch},
+		{"kernel/sleep_wake", kernelbench.SleepWake},
+		{"kernel/netsim_hop", kernelbench.NetsimHop},
+	} {
+		r := testing.Benchmark(kb.fn)
+		rep.Allocs[kb.name] = float64(r.AllocsPerOp())
+		rep.Wall[kb.name+"_ns_op"] = float64(r.NsPerOp()) / 1e9
+	}
+
 	return rep, nil
 }
 
@@ -212,6 +234,33 @@ func compare(baseline, candidate *Report, tol float64) (failures []string) {
 	sort.Strings(added)
 	for _, name := range added {
 		fmt.Printf("note: new series %q not in baseline\n", name)
+	}
+
+	// Allocation gate: a kernel hot path that starts allocating is a
+	// regression even when virtual times are unchanged, so any
+	// allocs/op growth over the baseline fails. Shrinking is fine.
+	if len(baseline.Allocs) > 0 {
+		fmt.Println()
+		anames := make([]string, 0, len(baseline.Allocs))
+		for name := range baseline.Allocs {
+			anames = append(anames, name)
+		}
+		sort.Strings(anames)
+		for _, name := range anames {
+			b := baseline.Allocs[name]
+			c, ok := candidate.Allocs[name]
+			if !ok {
+				fmt.Printf("note: allocs series %q missing from candidate\n", name)
+				continue
+			}
+			status := "ok"
+			if c > b {
+				status = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("%s: baseline %.0f allocs/op, candidate %.0f allocs/op (growth)", name, b, c))
+			}
+			fmt.Printf("%-4s %-32s baseline %7.0f allocs/op  candidate %7.0f allocs/op\n", status, name, b, c)
+		}
 	}
 	return failures
 }

@@ -218,9 +218,11 @@ func (c *Cluster) Client(name string) *pbs.Client {
 func (c *Cluster) Close() { c.Net.Close() }
 
 // Run is a convenience wrapper: build a simulation, start the
-// cluster, run fn with an IFL client, and tear down.
+// cluster, run fn with an IFL client, and tear down. The kernel comes
+// from the simulation pool and is recycled when the run drains.
 func Run(p Params, fn func(c *Cluster, client *pbs.Client)) error {
-	s := sim.New()
+	s := sim.Acquire()
+	defer s.Release()
 	cl := New(s, p)
 	return s.Run(func() {
 		defer cl.Close()

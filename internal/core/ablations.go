@@ -69,7 +69,8 @@ func AblationCollectiveGet(p cluster.Params, cns, acsPerCN int) (CollectiveResul
 	measure := func(collective bool) (time.Duration, error) {
 		var elapsed time.Duration
 		var mu sync.Mutex
-		s := sim.New()
+		s := sim.Acquire()
+		defer s.Release()
 		c := cluster.New(s, p)
 		start := newSignal(s, "start")
 		err := s.Run(func() {
@@ -200,7 +201,8 @@ func runPolicy(p cluster.Params, jobs int, mk func(s *sim.Simulation, i int) pbs
 	var span time.Duration
 	var acSeconds float64
 	var joules float64
-	s := sim.New()
+	s := sim.Acquire()
+	defer s.Release()
 	c := cluster.New(s, p)
 	err := s.Run(func() {
 		defer c.Close()
@@ -267,7 +269,8 @@ func AblationBackfill(p cluster.Params, jobs int, seed uint64) (BackfillResult, 
 		// both modes and backfill never gets exercised.
 		pp.Maui.FairshareWeight = 0
 		var span time.Duration
-		s := sim.New()
+		s := sim.Acquire()
+		defer s.Release()
 		c := cluster.New(s, pp)
 		err := s.Run(func() {
 			defer c.Close()

@@ -68,7 +68,8 @@ func Breakdown(p cluster.Params, sizes []int, capture func(computeNodes int, eve
 			return fmt.Errorf("core: Breakdown n=%d: %w", n, err)
 		}
 
-		s := sim.New()
+		s := sim.Acquire()
+		defer s.Release()
 		c := cluster.New(s, tp)
 		probeReady := newSignal(s, "breakdown-ready")
 		goahead := newSignal(s, "breakdown-go")

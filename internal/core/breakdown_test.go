@@ -15,13 +15,10 @@ import (
 // ladder size, the per-phase attribution sums byte-identically (in
 // integer virtual-time nanoseconds) to the job's end-to-end latency —
 // and the whole figure is invariant under the trial-pool parallelism
-// level. The cross-parallelism invariance check is skipped under the
-// race detector: the sim kernel releases same-instant events as a
-// concurrent batch, so their relative order — and hence a handful of
-// same-instant submit/fetch rendezvous — depends on the goroutine
-// scheduler, which the race runtime perturbs. The exact-sum property
-// (the invariant this experiment exists for) holds per run regardless
-// and stays asserted in every configuration.
+// level, including under the race detector: the sim kernel serializes
+// the dispatch of events due at the same virtual instant, so the
+// goroutine-scheduler perturbation the race runtime introduces cannot
+// reorder same-instant submit/fetch rendezvous.
 func TestBreakdownExactAtEveryParallelism(t *testing.T) {
 	sizes := []int{8, 32}
 	old := Parallelism()
@@ -39,7 +36,7 @@ func TestBreakdownExactAtEveryParallelism(t *testing.T) {
 		}
 		if base == nil {
 			base = pts
-		} else if !raceDetectorOn && !reflect.DeepEqual(pts, base) {
+		} else if !reflect.DeepEqual(pts, base) {
 			t.Fatalf("breakdown differs at parallelism %d:\n%+v\nvs\n%+v", par, pts, base)
 		}
 		if len(streams) != len(sizes) {

@@ -229,7 +229,8 @@ func Fig8(p cluster.Params, loads []int, trials int) ([]Fig8Point, error) {
 		err := forEach(trials, func(trial int) error {
 			var batch time.Duration
 			var mu sync.Mutex
-			s := sim.New()
+			s := sim.Acquire()
+			defer s.Release()
 			tp := p
 			tp.Seed = uint64(trial + 1)
 			c := cluster.New(s, tp)
@@ -348,7 +349,8 @@ func Fig9(p cluster.Params, trials int) ([]Fig9Point, error) {
 	errRun := forEach(trials, func(trial int) error {
 		batches := make([]time.Duration, 3)
 		var mu sync.Mutex
-		s := sim.New()
+		s := sim.Acquire()
+		defer s.Release()
 		tp := p
 		tp.Seed = uint64(trial + 1)
 		c := cluster.New(s, tp)

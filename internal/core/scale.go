@@ -119,7 +119,8 @@ func Scale(p cluster.Params, sizes []int) ([]ScalePoint, error) {
 			return fmt.Errorf("core: Scale n=%d: %w", n, err)
 		}
 
-		s := sim.New()
+		s := sim.Acquire()
+		defer s.Release()
 		c := cluster.New(s, tp)
 		var pt ScalePoint
 		var ptMu sync.Mutex

@@ -89,12 +89,15 @@ func (sc *Scheduler) JobsPlaced() int64 {
 func (sc *Scheduler) Start() {
 	sc.sim.Go("pbs_sched", func() {
 		for {
-			_, err := sc.ep.RecvTimeout(sc.params.CycleInterval)
+			m, err := sc.ep.RecvTimeout(sc.params.CycleInterval)
+			m.Release()
 			if err != nil && !errors.Is(err, netsim.ErrTimeout) {
 				return
 			}
 			for sc.ep.Pending() > 0 {
-				if _, err := sc.ep.Recv(); err != nil {
+				m, err := sc.ep.Recv()
+				m.Release()
+				if err != nil {
 					return
 				}
 			}
@@ -105,22 +108,24 @@ func (sc *Scheduler) Start() {
 	})
 }
 
-func (sc *Scheduler) fetch() (pbs.SchedInfoResp, error) {
+func (sc *Scheduler) fetch() (*pbs.SchedInfoResp, error) {
 	sc.mu.Lock()
 	sc.nextReq++
 	id := sc.nextReq
 	sc.mu.Unlock()
 	if err := sc.ep.Send(sc.serverEP, "pbs", pbs.SchedInfoReq{ReqID: id, ReplyTo: sc.ep.Name()}, 0); err != nil {
-		return pbs.SchedInfoResp{}, err
+		return nil, err
 	}
 	m, err := sc.ep.RecvMatch(func(m *netsim.Message) bool {
-		r, ok := m.Payload.(pbs.SchedInfoResp)
+		r, ok := m.Payload.(*pbs.SchedInfoResp)
 		return ok && r.ReqID == id
 	})
 	if err != nil {
-		return pbs.SchedInfoResp{}, err
+		return nil, err
 	}
-	return m.Payload.(pbs.SchedInfoResp), nil
+	resp := m.Payload.(*pbs.SchedInfoResp)
+	m.Release()
+	return resp, nil
 }
 
 // free tracks the cycle-local pool.
@@ -136,6 +141,9 @@ func (sc *Scheduler) runCycle() bool {
 	if err != nil {
 		return false
 	}
+	// The pooled snapshot (and everything aliasing it: pool.jobs,
+	// item pointers) stays valid until released at end of cycle.
+	defer info.Release()
 	sc.sim.Sleep(sc.params.CycleOverhead)
 	sc.mu.Lock()
 	sc.cycles++

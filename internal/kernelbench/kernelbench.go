@@ -1,0 +1,91 @@
+// Package kernelbench holds the simulation-kernel microbenchmark
+// bodies. They live in a plain package (not a _test file) so two
+// consumers share one definition: the root bench_test.go wraps them as
+// ordinary `go test -bench` benchmarks, and cmd/dacbench drives them
+// through testing.Benchmark to record allocs/op series for the
+// regression gate. Each body measures a steady-state hot path the
+// zero-allocation tier-1 tests pin at 0 allocs/op.
+package kernelbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func bump(a any) { *(a.(*int))++ }
+
+// EventDispatch measures closure-free timer dispatch: one AfterArg
+// schedule plus the controller's pop-and-run, per iteration.
+func EventDispatch(b *testing.B) {
+	s := sim.New()
+	hits := new(int)
+	if err := s.Run(func() {
+		for i := 0; i < 16; i++ { // warm pools and queue storage
+			s.AfterArg(time.Microsecond, bump, hits)
+			s.Sleep(2 * time.Microsecond)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.AfterArg(time.Microsecond, bump, hits)
+			s.Sleep(2 * time.Microsecond)
+		}
+	}); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}
+
+// SleepWake measures the actor park/dispatch/wake round trip through
+// the pooled wake channels.
+func SleepWake(b *testing.B) {
+	s := sim.New()
+	if err := s.Run(func() {
+		for i := 0; i < 16; i++ {
+			s.Sleep(time.Microsecond)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Sleep(time.Microsecond)
+		}
+	}); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}
+
+// NetsimHop measures one fabric hop: arena send, scheduled delivery,
+// matched receive, and envelope release.
+func NetsimHop(b *testing.B) {
+	s := sim.New()
+	if err := s.Run(func() {
+		n := netsim.New(s, netsim.LinkParams{Latency: time.Microsecond})
+		src := n.Endpoint("bench/src")
+		dst := n.Endpoint("bench/dst")
+		defer src.Close()
+		defer dst.Close()
+		hop := func() {
+			if err := src.Send("bench/dst", "ping", "payload", 64); err != nil {
+				b.Errorf("Send: %v", err)
+			}
+			m, err := dst.Recv()
+			if err != nil {
+				b.Errorf("Recv: %v", err)
+				return
+			}
+			m.Release()
+		}
+		for i := 0; i < 16; i++ {
+			hop()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hop()
+		}
+	}); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}

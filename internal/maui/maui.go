@@ -112,6 +112,14 @@ type Scheduler struct {
 	usage   map[string]float64 // owner -> decayed node-seconds
 	stats   Stats
 	nextReq int
+
+	// Cycle-local scratch, touched only by the scheduler actor (or a
+	// test driving RunCycleOnce). The pools and the priority/order
+	// buffers persist across cycles so a steady-state iteration reuses
+	// their storage instead of rebuilding it.
+	pools *pools
+	prio  []float64
+	order []int
 }
 
 // New creates a scheduler speaking to the given server endpoint.
@@ -151,13 +159,16 @@ func (sc *Scheduler) Usage(owner string) float64 {
 func (sc *Scheduler) Start() {
 	sc.sim.Go("maui", func() {
 		for {
-			_, err := sc.ep.RecvTimeout(sc.params.CycleInterval)
+			m, err := sc.ep.RecvTimeout(sc.params.CycleInterval)
+			m.Release()
 			if err != nil && !errors.Is(err, netsim.ErrTimeout) {
 				return
 			}
 			// Coalesce pending kicks: one cycle serves them all.
 			for sc.ep.Pending() > 0 {
-				if _, err := sc.ep.Recv(); err != nil {
+				m, err := sc.ep.Recv()
+				m.Release()
+				if err != nil {
 					return
 				}
 			}
@@ -172,23 +183,26 @@ func (sc *Scheduler) Start() {
 // (for tests and single-stepped experiments).
 func (sc *Scheduler) RunCycleOnce() { sc.runCycle() }
 
-// fetchInfo pulls queue and node state from the server.
-func (sc *Scheduler) fetchInfo() (pbs.SchedInfoResp, error) {
+// fetchInfo pulls queue and node state from the server. The returned
+// snapshot is pooled: the caller owns it until it calls Release.
+func (sc *Scheduler) fetchInfo() (*pbs.SchedInfoResp, error) {
 	sc.mu.Lock()
 	sc.nextReq++
 	id := sc.nextReq
 	sc.mu.Unlock()
 	if err := sc.ep.Send(sc.serverEP, "pbs", pbs.SchedInfoReq{ReqID: id, ReplyTo: sc.ep.Name()}, 0); err != nil {
-		return pbs.SchedInfoResp{}, err
+		return nil, err
 	}
 	m, err := sc.ep.RecvMatch(func(m *netsim.Message) bool {
-		r, ok := m.Payload.(pbs.SchedInfoResp)
+		r, ok := m.Payload.(*pbs.SchedInfoResp)
 		return ok && r.ReqID == id
 	})
 	if err != nil {
-		return pbs.SchedInfoResp{}, err
+		return nil, err
 	}
-	return m.Payload.(pbs.SchedInfoResp), nil
+	resp := m.Payload.(*pbs.SchedInfoResp)
+	m.Release()
+	return resp, nil
 }
 
 // runCycle is one scheduling iteration. It returns false when the
@@ -222,6 +236,9 @@ func (sc *Scheduler) cycle() bool {
 	if err != nil {
 		return false
 	}
+	// The snapshot (and everything aliasing its buffers, including the
+	// pools built below) is valid until this release.
+	defer info.Release()
 	sc.sim.Sleep(sc.params.CycleOverhead)
 	sc.mu.Lock()
 	sc.stats.Cycles++
@@ -233,7 +250,11 @@ func (sc *Scheduler) cycle() bool {
 	sc.mu.Unlock()
 
 	pb := cyc.Child("pools")
-	p := newPools(info.Nodes)
+	if sc.pools == nil {
+		sc.pools = &pools{index: make(map[string]int)}
+	}
+	p := sc.pools
+	p.reset(info.Nodes)
 	pb.End()
 	if trc := sc.sim.Tracer(); trc != nil {
 		trc.Gauge("maui.queue_depth", float64(len(info.Queued)))
@@ -302,14 +323,21 @@ func (sc *Scheduler) priority(j pbs.JobInfo) float64 {
 }
 
 // scheduleStatic orders the queue by priority and places jobs,
-// optionally backfilling behind a blocked head.
-func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools, phase *trace.Span) {
-	queued := append([]pbs.JobInfo(nil), info.Queued...)
+// optionally backfilling behind a blocked head. It reads the snapshot's
+// queue in place through a sorted index — no per-cycle copy of the job
+// list — and keeps the priority/order buffers on the scheduler.
+func (sc *Scheduler) scheduleStatic(info *pbs.SchedInfoResp, p *pools, phase *trace.Span) {
+	queued := info.Queued
 	// Compute each priority once up front: virtual time stands still
 	// during the sort, so the values cannot change, and a comparator
 	// that takes the scheduler lock costs O(n log n) mutex round
 	// trips on the long queues of large clusters.
-	prio := make([]float64, len(queued))
+	prio := sc.prio
+	if cap(prio) < len(queued) {
+		prio = make([]float64, len(queued))
+	}
+	prio = prio[:len(queued)]
+	sc.prio = prio
 	now := sc.sim.Now()
 	sc.mu.Lock()
 	for i := range queued {
@@ -318,18 +346,15 @@ func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools, phase *tra
 		prio[i] = float64(j.Spec.Priority) + sc.params.QueueTimeWeight*wait - sc.params.FairshareWeight*sc.usage[j.Spec.Owner]
 	}
 	sc.mu.Unlock()
-	order := make([]int, len(queued))
-	for i := range order {
-		order[i] = i
+	order := sc.order[:0]
+	for i := range queued {
+		order = append(order, i)
 	}
+	sc.order = order
 	sort.SliceStable(order, func(a, b int) bool { return prio[order[a]] > prio[order[b]] })
-	reordered := make([]pbs.JobInfo, len(queued))
-	for i, idx := range order {
-		reordered[i] = queued[idx]
-	}
-	queued = reordered
 	var shadow time.Duration = -1 // earliest start estimate of the blocked head
-	for _, j := range queued {
+	for _, idx := range order {
+		j := queued[idx]
 		sc.sim.Sleep(sc.params.PerJobCost)
 		if shadow >= 0 {
 			// A head job is blocked; only backfill candidates that
@@ -365,7 +390,7 @@ func (sc *Scheduler) scheduleStatic(info pbs.SchedInfoResp, p *pools, phase *tra
 
 // schedulePlainFIFO is the DynTopPriority ablation: one stream
 // ordered by arrival, dynamic requests not prioritized.
-func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools, phase *trace.Span) {
+func (sc *Scheduler) schedulePlainFIFO(info *pbs.SchedInfoResp, p *pools, phase *trace.Span) {
 	type item struct {
 		at  time.Duration
 		job *pbs.JobInfo
@@ -381,7 +406,10 @@ func (sc *Scheduler) schedulePlainFIFO(info pbs.SchedInfoResp, p *pools, phase *
 	sort.SliceStable(items, func(a, b int) bool { return items[a].at < items[b].at })
 	for _, it := range items {
 		if it.dyn != nil {
-			sp := phase.Child("sched.dyn", "job", it.dyn.JobID, "req", strconv.Itoa(it.dyn.ReqID))
+			var sp *trace.Span
+			if phase != nil {
+				sp = phase.Child("sched.dyn", "job", it.dyn.JobID, "req", strconv.Itoa(it.dyn.ReqID))
+			}
 			sc.sim.Sleep(sc.params.DynPerReqCost)
 			hosts := sc.allocDyn(*it.dyn, p)
 			sc.mu.Lock()

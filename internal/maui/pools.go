@@ -22,6 +22,9 @@ type pools struct {
 	cns    []cnState      // compute nodes in node-database order
 	index  map[string]int // name -> index in cns
 	levels [][]uint64     // levels[c] = bitset of cns with free >= c+1
+
+	acs    []string // stable backing for freeACs, rebuilt by reset
+	chosen []int    // scratch for fit/takeCNs candidate collection
 }
 
 type cnState struct {
@@ -32,6 +35,20 @@ type cnState struct {
 
 func newPools(nodes []pbs.NodeInfo) *pools {
 	p := &pools{index: make(map[string]int)}
+	p.reset(nodes)
+	return p
+}
+
+// reset rebuilds the pools for a fresh cycle from a node snapshot,
+// reusing every piece of storage acquired on earlier cycles. The
+// cnState.jobs slices alias the snapshot's NodeInfo.Jobs; commit may
+// append past their length, which is safe because the scheduler owns
+// the snapshot for the whole cycle and the server rewrites those
+// buffers from its node database on the next SchedInfo request.
+func (p *pools) reset(nodes []pbs.NodeInfo) {
+	p.acs = p.acs[:0]
+	p.cns = p.cns[:0]
+	clear(p.index)
 	maxCores := 0
 	for _, n := range nodes {
 		if n.Down {
@@ -40,7 +57,7 @@ func newPools(nodes []pbs.NodeInfo) *pools {
 		switch n.Type {
 		case pbs.AcceleratorNode:
 			if n.Free() {
-				p.freeACs = append(p.freeACs, n.Name)
+				p.acs = append(p.acs, n.Name)
 			}
 		case pbs.ComputeNode:
 			p.index[n.Name] = len(p.cns)
@@ -50,17 +67,28 @@ func newPools(nodes []pbs.NodeInfo) *pools {
 			}
 		}
 	}
+	// takeACs advances freeACs by reslicing, so it must start each
+	// cycle from the stable backing array.
+	p.freeACs = p.acs
 	words := (len(p.cns) + 63) / 64
-	p.levels = make([][]uint64, maxCores)
+	if cap(p.levels) < maxCores {
+		p.levels = make([][]uint64, maxCores)
+	}
+	p.levels = p.levels[:maxCores]
 	for c := range p.levels {
-		p.levels[c] = make([]uint64, words)
+		if cap(p.levels[c]) < words {
+			p.levels[c] = make([]uint64, words)
+		} else {
+			row := p.levels[c][:words]
+			clear(row)
+			p.levels[c] = row
+		}
 	}
 	for i, cn := range p.cns {
 		for c := 0; c < cn.free; c++ {
 			p.levels[c][i>>6] |= 1 << (uint(i) & 63)
 		}
 	}
-	return p
 }
 
 // freeCores reports the free cores of a compute node (for tests).
@@ -124,7 +152,7 @@ func (p *pools) takeCNs(count, ppn int, jobID string) []string {
 	if ppn <= 0 {
 		return nil
 	}
-	var chosen []int
+	chosen := p.chosen[:0]
 	p.eachWithFree(ppn, func(i int) bool {
 		for _, j := range p.cns[i].jobs {
 			if j == jobID {
@@ -134,6 +162,7 @@ func (p *pools) takeCNs(count, ppn int, jobID string) []string {
 		chosen = append(chosen, i)
 		return len(chosen) < count
 	})
+	p.chosen = chosen
 	if len(chosen) < count {
 		return nil
 	}
@@ -152,11 +181,12 @@ func (p *pools) fit(spec pbs.JobSpec, jobID string) (hosts []string, acc map[str
 	if spec.PPN < 0 {
 		return nil, nil, false
 	}
-	var chosen []int
+	chosen := p.chosen[:0]
 	p.eachWithFree(spec.PPN, func(i int) bool {
 		chosen = append(chosen, i)
 		return len(chosen) < spec.Nodes
 	})
+	p.chosen = chosen
 	if len(chosen) < spec.Nodes {
 		return nil, nil, false
 	}

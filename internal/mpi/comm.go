@@ -141,7 +141,9 @@ func (c *Comm) recv(src, tag int, timeout time.Duration) (Status, error) {
 		return Status{}, err
 	}
 	env := m.Payload.(envelope)
-	return Status{Source: env.src, Tag: env.tag, Payload: env.payload, Size: m.Size}, nil
+	st := Status{Source: env.src, Tag: env.tag, Payload: env.payload, Size: m.Size}
+	m.Release()
+	return st, nil
 }
 
 // Collective tags live in a reserved negative range so user tags
@@ -337,10 +339,11 @@ func (c *Comm) localBarrier() error {
 		return me.ep.Send(dp.ep.Name(), c.id+"/local", env, cb)
 	}
 	recvOne := func(tag int) error {
-		_, err := me.ep.RecvMatch(func(m *netsim.Message) bool {
+		m, err := me.ep.RecvMatch(func(m *netsim.Message) bool {
 			env, ok := m.Payload.(envelope)
 			return ok && env.comm == c.id+"/local" && env.tag == tag
 		})
+		m.Release()
 		return err
 	}
 	if c.rank == 0 {

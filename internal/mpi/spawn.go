@@ -386,5 +386,7 @@ func (c *Comm) localBcastRecv() (commDesc, error) {
 	if err != nil {
 		return commDesc{}, err
 	}
-	return m.Payload.(envelope).payload.(commDesc), nil
+	desc := m.Payload.(envelope).payload.(commDesc)
+	m.Release()
+	return desc, nil
 }

@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestMessageHopZeroAlloc pins the steady-state send → deliver → recv
+// → release hop at zero allocations per operation: the message
+// envelope comes from the arena, delivery is scheduled through the
+// kernel's closure-free AfterArg path, and the endpoint queue and gate
+// waiter storage are reused across hops. The payload is a constant, so
+// its interface conversion uses static storage.
+func TestMessageHopZeroAlloc(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("sync.Pool reuse is disabled under -race; allocs/op is meaningless")
+	}
+	s := sim.New()
+	var allocs float64
+	err := s.Run(func() {
+		n := New(s, LinkParams{Latency: time.Microsecond})
+		a := n.Endpoint("a")
+		b := n.Endpoint("b")
+		defer a.Close()
+		defer b.Close()
+		hop := func() {
+			if err := a.Send("b", "ping", "payload", 64); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+			m, err := b.Recv()
+			if err != nil {
+				t.Errorf("Recv: %v", err)
+				return
+			}
+			m.Release()
+		}
+		for i := 0; i < 16; i++ { // warm the arena, queues, and pools
+			hop()
+		}
+		allocs = testing.AllocsPerRun(200, hop)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if allocs != 0 {
+		t.Fatalf("message hop steady state: %v allocs/op, want 0", allocs)
+	}
+}

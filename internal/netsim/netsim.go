@@ -68,6 +68,11 @@ func (p LinkParams) TransferTime(size int, pipelined bool) time.Duration {
 
 // Message is a delivered datagram. Payload is an arbitrary protocol
 // value; Size is the simulated wire size used for timing.
+//
+// Messages live in a fabric-wide arena: every send takes one from the
+// pool and the receiver gives it back with Release once the payload is
+// extracted. A receiver that forgets to release merely falls back to
+// garbage collection.
 type Message struct {
 	From, To  string
 	Tag       string
@@ -80,6 +85,28 @@ type Message struct {
 	// the profiler can stitch cross-host causal chains through the
 	// fabric instead of guessing from timestamps.
 	Cause uint64
+	// net and dst route the in-flight message through the package-level
+	// delivery callback so scheduling the hop allocates no closure. net
+	// doubles as the arena ownership marker: nil means the message has
+	// been released (or never came from the arena).
+	net *Network
+	dst *Endpoint
+}
+
+// msgPool is the arena backing in-flight messages. A message cycles
+// send → queue → recv → Release and is reused by a later send.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// Release returns the message to the fabric's arena. Call it after the
+// payload (and any fields of interest) have been extracted; the message
+// must not be touched afterwards. Releasing twice — or releasing a
+// message that did not come from the arena — is a no-op.
+func (m *Message) Release() {
+	if m == nil || m.net == nil {
+		return
+	}
+	*m = Message{}
+	msgPool.Put(m)
 }
 
 // Stats aggregates fabric-level counters.
@@ -381,53 +408,64 @@ func (e *Endpoint) send(to, tag string, payload any, size int, pipelined bool, c
 	ps.lastDue = due
 	n.mu.Unlock()
 
-	msg := &Message{
-		From:    e.name,
-		To:      to,
-		Tag:     tag,
-		Payload: payload,
-		Size:    size,
-		Sent:    now,
-		Cause:   cause,
-	}
-	n.sim.After(delay, func() {
-		// Re-check reachability at delivery time so a partition that
-		// happened mid-flight also drops the message.
-		n.mu.Lock()
-		drop := n.unreachableLocked(msg.From) || n.unreachableLocked(msg.To)
-		if drop {
-			n.stats.Dropped++
-			n.stats.MessagesSent--
-			n.stats.BytesSent -= int64(msg.Size)
-		}
-		tr := n.trace
-		n.mu.Unlock()
-		if drop {
-			return
-		}
-		msg.Delivered = n.sim.Now()
-		if tr != nil {
-			tr(msg)
-		}
-		// Feed the observability layer: one async span per delivered
-		// message (in-flight intervals overlap freely), a per-tag
-		// delivery-latency histogram, and per-link traffic counters.
-		if trc := n.sim.Tracer(); trc != nil {
-			link := msg.From + "->" + msg.To
-			trc.AsyncSpanLinkAt("netsim", "msg."+msg.Tag, msg.Cause, msg.Sent, msg.Delivered-msg.Sent,
-				"from", msg.From, "to", msg.To, "size", strconv.Itoa(msg.Size))
-			trc.Add("netsim.msgs."+link, 1)
-			trc.Add("netsim.bytes."+link, int64(msg.Size))
-		}
-		dst.deliver(msg)
-	})
+	msg := msgPool.Get().(*Message)
+	msg.From = e.name
+	msg.To = to
+	msg.Tag = tag
+	msg.Payload = payload
+	msg.Size = size
+	msg.Sent = now
+	msg.Delivered = 0
+	msg.Cause = cause
+	msg.net = n
+	msg.dst = dst
+	n.sim.AfterArg(delay, deliverMsg, msg)
 	return nil
+}
+
+// deliverMsg completes a message's flight. It is the single long-lived
+// delivery callback shared by every send (via sim.AfterArg), so the
+// per-hop schedule carries no closure.
+func deliverMsg(arg any) {
+	msg := arg.(*Message)
+	n := msg.net
+	// Re-check reachability at delivery time so a partition that
+	// happened mid-flight also drops the message.
+	n.mu.Lock()
+	drop := n.unreachableLocked(msg.From) || n.unreachableLocked(msg.To)
+	if drop {
+		n.stats.Dropped++
+		n.stats.MessagesSent--
+		n.stats.BytesSent -= int64(msg.Size)
+	}
+	tr := n.trace
+	n.mu.Unlock()
+	if drop {
+		msg.Release()
+		return
+	}
+	msg.Delivered = n.sim.Now()
+	if tr != nil {
+		tr(msg)
+	}
+	// Feed the observability layer: one async span per delivered
+	// message (in-flight intervals overlap freely), a per-tag
+	// delivery-latency histogram, and per-link traffic counters.
+	if trc := n.sim.Tracer(); trc != nil {
+		link := msg.From + "->" + msg.To
+		trc.AsyncSpanLinkAt("netsim", "msg."+msg.Tag, msg.Cause, msg.Sent, msg.Delivered-msg.Sent,
+			"from", msg.From, "to", msg.To, "size", strconv.Itoa(msg.Size))
+		trc.Add("netsim.msgs."+link, 1)
+		trc.Add("netsim.bytes."+link, int64(msg.Size))
+	}
+	msg.dst.deliver(msg)
 }
 
 func (e *Endpoint) deliver(m *Message) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		m.Release()
 		return
 	}
 	e.queue = append(e.queue, m)
@@ -535,8 +573,12 @@ func (e *Endpoint) Close() {
 		return
 	}
 	e.closed = true
+	dead := e.queue[e.head:]
 	e.queue = nil
 	e.head = 0
 	e.mu.Unlock()
+	for _, m := range dead {
+		m.Release()
+	}
 	e.gate.Broadcast()
 }

@@ -1,5 +1,5 @@
 //go:build !race
 
-package core
+package netsim
 
 const raceDetectorOn = false

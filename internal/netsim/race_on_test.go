@@ -1,0 +1,8 @@
+//go:build race
+
+package netsim
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector; the zero-allocation test skips under it because the
+// race runtime disables sync.Pool reuse.
+const raceDetectorOn = true

@@ -41,7 +41,8 @@ func (s *Server) startFailureDetector() {
 	mon := s.net.Endpoint(ServerEndpoint + "/monitor")
 	s.sim.Go("pbs_server/monitor", func() {
 		for {
-			_, err := mon.RecvTimeout(period)
+			m, err := mon.RecvTimeout(period)
+			m.Release()
 			if errors.Is(err, netsim.ErrTimeout) {
 				s.sweepDeadNodes()
 				continue

@@ -51,14 +51,26 @@ func (c *Client) reqID() int {
 	return c.nextReq
 }
 
-func (c *Client) call(req any, match func(m *netsim.Message) bool, timeout time.Duration) (*netsim.Message, error) {
+// call performs one request/response round trip and returns the
+// response payload; the message envelope goes straight back to the
+// fabric arena.
+func (c *Client) call(req any, match func(m *netsim.Message) bool, timeout time.Duration) (any, error) {
 	if err := c.ep.Send(c.serverEP, "pbs", req, 0); err != nil {
 		return nil, err
 	}
+	var m *netsim.Message
+	var err error
 	if timeout > 0 {
-		return c.ep.RecvMatchTimeout(match, timeout)
+		m, err = c.ep.RecvMatchTimeout(match, timeout)
+	} else {
+		m, err = c.ep.RecvMatch(match)
 	}
-	return c.ep.RecvMatch(match)
+	if err != nil {
+		return nil, err
+	}
+	payload := m.Payload
+	m.Release()
+	return payload, nil
 }
 
 // Submit is qsub: it enqueues the job and returns its id.
@@ -71,7 +83,7 @@ func (c *Client) Submit(spec JobSpec) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	resp := m.Payload.(SubmitResp)
+	resp := m.(SubmitResp)
 	if resp.Err != "" {
 		return "", errors.New(resp.Err)
 	}
@@ -88,7 +100,7 @@ func (c *Client) Stat(jobID string) (JobInfo, error) {
 	if err != nil {
 		return JobInfo{}, err
 	}
-	resp := m.Payload.(StatResp)
+	resp := m.(StatResp)
 	if resp.Err != "" {
 		return JobInfo{}, errors.New(resp.Err)
 	}
@@ -105,7 +117,7 @@ func (c *Client) Nodes() ([]NodeInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Payload.(NodesResp).Nodes, nil
+	return m.(NodesResp).Nodes, nil
 }
 
 // Alter is pbs_alterjob / qalter: change a queued job's priority,
@@ -122,7 +134,7 @@ func (c *Client) Alter(jobID string, priority *int, walltime time.Duration, name
 	if err != nil {
 		return err
 	}
-	if resp := m.Payload.(AlterResp); resp.Err != "" {
+	if resp := m.(AlterResp); resp.Err != "" {
 		return errors.New(resp.Err)
 	}
 	return nil
@@ -144,7 +156,7 @@ func (c *Client) hold(jobID string, hold bool) error {
 	if err != nil {
 		return err
 	}
-	if resp := m.Payload.(HoldResp); resp.Err != "" {
+	if resp := m.(HoldResp); resp.Err != "" {
 		return errors.New(resp.Err)
 	}
 	return nil
@@ -160,7 +172,7 @@ func (c *Client) List() ([]JobInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Payload.(ListResp).Jobs, nil
+	return m.(ListResp).Jobs, nil
 }
 
 // Delete is qdel.
@@ -173,7 +185,7 @@ func (c *Client) Delete(jobID string) error {
 	if err != nil {
 		return err
 	}
-	if resp := m.Payload.(DeleteResp); resp.Err != "" {
+	if resp := m.(DeleteResp); resp.Err != "" {
 		return errors.New(resp.Err)
 	}
 	return nil
@@ -190,7 +202,7 @@ func (c *Client) Wait(jobID string) (JobInfo, error) {
 	if err != nil {
 		return JobInfo{}, err
 	}
-	resp := m.Payload.(WaitResp)
+	resp := m.(WaitResp)
 	if resp.Err != "" {
 		return JobInfo{}, errors.New(resp.Err)
 	}
@@ -212,7 +224,7 @@ func (c *Client) DynGet(jobID, cn string, count int) (DynGrant, error) {
 	if err != nil {
 		return DynGrant{}, err
 	}
-	resp := m.Payload.(DynGetResp)
+	resp := m.(DynGetResp)
 	if resp.Err != "" {
 		return DynGrant{ClientID: resp.ClientID}, errors.New(resp.Err)
 	}
@@ -236,7 +248,7 @@ func (c *Client) DynGetNodes(jobID, cn string, count, ppn int) (DynGrant, error)
 	if err != nil {
 		return DynGrant{}, err
 	}
-	resp := m.Payload.(DynGetResp)
+	resp := m.(DynGetResp)
 	if resp.Err != "" {
 		return DynGrant{ClientID: resp.ClientID}, errors.New(resp.Err)
 	}
@@ -256,7 +268,7 @@ func (c *Client) DynFree(jobID string, clientID int) error {
 	if err != nil {
 		return err
 	}
-	if resp := m.Payload.(DynFreeResp); resp.Err != "" {
+	if resp := m.(DynFreeResp); resp.Err != "" {
 		return errors.New(resp.Err)
 	}
 	return nil

@@ -113,6 +113,9 @@ func (m *Mom) Start() {
 				return
 			}
 			m.handle(msg)
+			// Spawned sub-actors capture the payload value, never the
+			// envelope, so the envelope can go back to the arena now.
+			msg.Release()
 		}
 	})
 }
@@ -230,10 +233,12 @@ func (m *Mom) runJob(req RunJobMsg) {
 		pending++
 	}
 	for i := 0; i < pending; i++ {
-		if _, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
+		ack, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
 			ack, ok := msg.Payload.(JoinAck)
 			return ok && ack.JobID == req.JobID
-		}); err != nil {
+		})
+		ack.Release()
+		if err != nil {
 			return
 		}
 	}
@@ -329,10 +334,12 @@ func (m *Mom) dynAdd(req DynAddMsg) {
 	defer sp.End()
 	for _, h := range req.Hosts {
 		m.send(MomEndpoint(h), DynJoinJobMsg{JobID: req.JobID, MS: m.host, ReplyTo: m.ep.Name()})
-		if _, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
+		ack, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
 			ack, ok := msg.Payload.(DynJoinAck)
 			return ok && ack.JobID == req.JobID && ack.Host == h
-		}); err != nil {
+		})
+		ack.Release()
+		if err != nil {
 			return
 		}
 	}
@@ -359,10 +366,12 @@ func (m *Mom) dynAdd(req DynAddMsg) {
 func (m *Mom) dynRemove(req DynRemoveMsg) {
 	for _, h := range req.Hosts {
 		m.send(MomEndpoint(h), DisJoinJobMsg{JobID: req.JobID, ReplyTo: m.ep.Name()})
-		if _, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
+		ack, err := m.ep.RecvMatch(func(msg *netsim.Message) bool {
 			ack, ok := msg.Payload.(DisJoinAck)
 			return ok && ack.JobID == req.JobID && ack.Host == h
-		}); err != nil {
+		})
+		ack.Release()
+		if err != nil {
 			return
 		}
 	}

@@ -145,10 +145,12 @@ func (s *Server) Start() {
 				return
 			}
 			if _, stop := m.Payload.(stopMsg); stop {
+				m.Release()
 				return
 			}
 			s.sim.Sleep(s.params.Processing)
 			s.handle(m)
+			m.Release()
 		}
 	})
 }
@@ -167,13 +169,29 @@ func (s *Server) sendCause(to string, payload any, cause uint64) {
 	}
 }
 
+// kickPayloads pre-boxes the SchedKick for every reason the server
+// uses, so the per-event kick path does not allocate an interface box.
+// The map is read-only after init.
+var kickPayloads = func() map[string]any {
+	m := make(map[string]any)
+	for _, r := range []string{"submit", "qalter", "qrls", "delete", "dynfree", "jobdone", "restore"} {
+		m[r] = SchedKick{Reason: r}
+	}
+	return m
+}()
+
 func (s *Server) kickScheduler(reason string) {
 	s.mu.Lock()
 	ep := s.schedEP
 	s.mu.Unlock()
-	if ep != "" {
-		s.send(ep, SchedKick{Reason: reason})
+	if ep == "" {
+		return
 	}
+	payload, ok := kickPayloads[reason]
+	if !ok {
+		payload = SchedKick{Reason: reason}
+	}
+	s.send(ep, payload)
 }
 
 func (s *Server) logErr(format string, args ...any) {
@@ -524,9 +542,30 @@ func (s *Server) handleDynFree(req DynFreeReq) {
 	s.kickScheduler("dynfree")
 }
 
+// schedRespPool recycles the per-cycle scheduler snapshot. The server
+// hands a *SchedInfoResp to exactly one scheduler, which owns it (and
+// every slice hanging off it) until it calls Release after its cycle;
+// the next handleSchedInfo then refills the same buffers in place, so
+// the steady-state cost of a snapshot is copying, not allocating.
+var schedRespPool = sync.Pool{New: func() any { return new(SchedInfoResp) }}
+
+// Release returns the snapshot and its buffers to the server's pool.
+// The scheduler must not touch the response — including any slice or
+// map obtained from it — after releasing.
+func (r *SchedInfoResp) Release() {
+	if r == nil {
+		return
+	}
+	schedRespPool.Put(r)
+}
+
 func (s *Server) handleSchedInfo(req SchedInfoReq) {
+	resp := schedRespPool.Get().(*SchedInfoResp)
+	resp.ReqID = req.ReqID
+	resp.Queued = resp.Queued[:0]
+	resp.Running = resp.Running[:0]
+	resp.Dyn = resp.Dyn[:0]
 	s.mu.Lock()
-	resp := SchedInfoResp{ReqID: req.ReqID}
 	// Walk the active index, compacting terminal jobs in place so the
 	// next cycle never revisits them.
 	w := 0
@@ -540,14 +579,14 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 				continue // qhold: invisible to the scheduler
 			}
 			if len(j.info.Hosts) == 0 { // not yet allocated
-				resp.Queued = append(resp.Queued, cloneInfo(j.info))
+				resp.Queued = appendInfo(resp.Queued, j.info)
 			} else {
-				resp.Running = append(resp.Running, cloneInfo(j.info))
+				resp.Running = appendInfo(resp.Running, j.info)
 			}
 		case JobRunning:
 			s.active[w] = id
 			w++
-			resp.Running = append(resp.Running, cloneInfo(j.info))
+			resp.Running = appendInfo(resp.Running, j.info)
 		}
 	}
 	clear(s.active[w:])
@@ -560,7 +599,7 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 			})
 		}
 	}
-	resp.Nodes = s.nodeViewLocked()
+	resp.Nodes = s.nodeViewIntoLocked(resp.Nodes[:0])
 	s.mu.Unlock()
 	s.send(req.ReplyTo, resp)
 }
@@ -632,7 +671,10 @@ func (s *Server) handleAlloc(cmd AllocCmd) {
 }
 
 func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
-	sp := s.sim.Tracer().Start(ServerTrack, "dynalloc", "req", strconv.Itoa(cmd.ReqID))
+	var sp *trace.Span
+	if trc := s.sim.Tracer(); trc != nil {
+		sp = trc.Start(ServerTrack, "dynalloc", "req", strconv.Itoa(cmd.ReqID))
+	}
 	sp.Link(cmd.Cause) // scheduler's sched.dyn span
 	defer sp.End()
 	s.mu.Lock()
@@ -718,7 +760,10 @@ func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
 }
 
 func (s *Server) handleDynAddAck(ack DynAddAck) {
-	sp := s.sim.Tracer().Start(ServerTrack, "dynack", "req", strconv.Itoa(ack.ReqID))
+	var sp *trace.Span
+	if trc := s.sim.Tracer(); trc != nil {
+		sp = trc.Start(ServerTrack, "dynack", "req", strconv.Itoa(ack.ReqID))
+	}
 	sp.Link(ack.Cause) // mother superior's mom.dynadd span
 	defer sp.End()
 	s.mu.Lock()
@@ -874,6 +919,9 @@ func (s *Server) nodeView() []NodeInfo {
 	return s.nodeViewLocked()
 }
 
+// nodeViewLocked clones the node database into freshly allocated
+// storage. It serves the client-facing NodesReq path, whose callers may
+// keep the result indefinitely.
 func (s *Server) nodeViewLocked() []NodeInfo {
 	out := make([]NodeInfo, 0, len(s.nodeOrder))
 	for _, name := range s.nodeOrder {
@@ -883,6 +931,27 @@ func (s *Server) nodeViewLocked() []NodeInfo {
 		out = append(out, info)
 	}
 	return out
+}
+
+// nodeViewIntoLocked is nodeViewLocked for the pooled scheduler
+// snapshot: it refills dst (including each element's Jobs buffer) in
+// place. Callers hold s.mu and own dst until the snapshot's Release.
+func (s *Server) nodeViewIntoLocked(dst []NodeInfo) []NodeInfo {
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		var out *NodeInfo
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1]
+			out = &dst[len(dst)-1]
+		} else {
+			dst = append(dst, NodeInfo{})
+			out = &dst[len(dst)-1]
+		}
+		jobs := out.Jobs[:0]
+		*out = n.info
+		out.Jobs = append(jobs, n.info.Jobs...)
+	}
+	return dst
 }
 
 // cloneInfo deep-copies a job view. Empty maps clone to nil: the
@@ -910,4 +979,48 @@ func cloneInfo(in JobInfo) JobInfo {
 	}
 	out.DynRecords = append([]DynRecord(nil), in.DynRecords...)
 	return out
+}
+
+// appendInfo appends a deep copy of in to dst, reviving the spare
+// element (and its Hosts/DynRecords buffers) past len when dst came
+// from a pooled snapshot. Queued jobs — the bulk of every cycle on a
+// loaded system — carry no hosts, maps, or records and therefore cost
+// zero allocations here.
+func appendInfo(dst []JobInfo, in JobInfo) []JobInfo {
+	if len(dst) < cap(dst) {
+		dst = dst[:len(dst)+1]
+	} else {
+		dst = append(dst, JobInfo{})
+	}
+	cloneInfoInto(&dst[len(dst)-1], in)
+	return dst
+}
+
+// cloneInfoInto is cloneInfo writing into reusable storage: out's
+// Hosts and DynRecords buffers are kept, maps follow cloneInfo's
+// empty-clones-to-nil rule.
+func cloneInfoInto(out *JobInfo, in JobInfo) {
+	hosts := out.Hosts[:0]
+	recs := out.DynRecords[:0]
+	*out = in
+	out.Hosts = append(hosts, in.Hosts...)
+	if len(in.AccHosts) > 0 {
+		m := make(map[string][]string, len(in.AccHosts))
+		for k, v := range in.AccHosts {
+			m[k] = append([]string(nil), v...)
+		}
+		out.AccHosts = m
+	} else {
+		out.AccHosts = nil
+	}
+	if len(in.DynSets) > 0 {
+		m := make(map[int][]string, len(in.DynSets))
+		for k, v := range in.DynSets {
+			m[k] = append([]string(nil), v...)
+		}
+		out.DynSets = m
+	} else {
+		out.DynSets = nil
+	}
+	out.DynRecords = append(recs, in.DynRecords...)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,23 +22,63 @@ import (
 // with the producer holding mu around the state change and calling
 // Signal or Broadcast afterwards (with or without mu held).
 type Gate struct {
-	sim  *Simulation
-	name string
+	sim   *Simulation
+	name  string
+	label string // "gate:"+name, precomputed so parking never allocates
 
 	mu      sync.Mutex
 	waiters []*gateWaiter
 }
 
+// gateWaiter is one parked actor. Waiters are pooled: the actor that
+// parked takes its waiter back from whoever woke it (the wake token is
+// only sent after the waiter left the gate's list) and returns it to
+// waiterPool on resume.
+//
+// gs packs a generation counter with the waiter's state in the low two
+// bits. Exactly one waker wins the armed→fired transition via CAS, and
+// the generation — bumped each time the waiter is reused — makes the
+// lazily cancelled timeout callback of a previous life a guaranteed
+// no-op: its CAS compares against the old generation's armed value,
+// which can never be current again.
 type gateWaiter struct {
-	ch    chan struct{}
-	fired bool // set once by whoever wakes the waiter: Signal or timeout
-	timed bool // true when woken by the timeout event
+	ch chan struct{} // capacity 1; carries at most one wake token
+	gs atomic.Uint64 // generation<<2 | state
+}
+
+const (
+	wArmed     = 0 // parked, no waker has claimed it
+	wSignaled  = 1 // woken by Signal or Broadcast
+	wTimed     = 2 // woken by a WaitTimeout deadline
+	wStateMask = 3
+	wGenStep   = 4 // +1 generation
+)
+
+var waiterPool = sync.Pool{New: func() any { return &gateWaiter{ch: make(chan struct{}, 1)} }}
+
+// newWaiter takes a waiter from the pool and re-arms it under a fresh
+// generation, invalidating any stale timeout callback from its past.
+func newWaiter() *gateWaiter {
+	w := waiterPool.Get().(*gateWaiter)
+	w.gs.Store((w.gs.Load() &^ wStateMask) + wGenStep)
+	return w
+}
+
+// fire attempts the armed→state transition. It reports false when
+// another waker already claimed the waiter (or, for stale timeout
+// callbacks, when the waiter moved on to a new generation).
+func (w *gateWaiter) fire(state uint64) bool {
+	cur := w.gs.Load()
+	if cur&wStateMask != wArmed {
+		return false
+	}
+	return w.gs.CompareAndSwap(cur, cur|state)
 }
 
 // NewGate returns a Gate bound to s. The name appears in deadlock
 // diagnostics.
 func (s *Simulation) NewGate(name string) *Gate {
-	return &Gate{sim: s, name: name}
+	return &Gate{sim: s, name: name, label: "gate:" + name}
 }
 
 // Wait atomically releases l and parks the calling actor until Signal
@@ -46,18 +87,19 @@ func (s *Simulation) NewGate(name string) *Gate {
 // predicate in a loop because another actor may consume the state
 // first.
 func (g *Gate) Wait(l sync.Locker) {
-	w := &gateWaiter{ch: make(chan struct{})}
+	w := newWaiter()
 	g.mu.Lock()
 	g.waiters = append(g.waiters, w)
 	g.mu.Unlock()
 
 	g.sim.mu.Lock()
-	g.sim.parkLocked("gate:" + g.name)
+	g.sim.parkLocked(g.label)
 	g.sim.mu.Unlock()
 
 	l.Unlock()
 	<-w.ch
-	g.sim.unparkNote("gate:" + g.name)
+	waiterPool.Put(w)
+	g.sim.unparkNote(g.label)
 	l.Lock()
 }
 
@@ -67,46 +109,50 @@ func (g *Gate) WaitTimeout(l sync.Locker, d time.Duration) bool {
 	if d <= 0 {
 		return false
 	}
-	w := &gateWaiter{ch: make(chan struct{})}
+	w := newWaiter()
+	gs := w.gs.Load() // this generation's armed value, captured for expire
 	g.mu.Lock()
 	g.waiters = append(g.waiters, w)
 	g.mu.Unlock()
 
 	g.sim.mu.Lock()
-	g.sim.pushLocked(g.sim.now+d, nil, func() { g.expire(w) })
-	g.sim.parkLocked("gate:" + g.name)
+	g.sim.pushLocked(g.sim.now+d, nil, func() { g.expire(w, gs) })
+	g.sim.parkLocked(g.label)
 	g.sim.mu.Unlock()
 
 	l.Unlock()
 	<-w.ch
-	g.sim.unparkNote("gate:" + g.name)
+	timed := w.gs.Load()&wStateMask == wTimed
+	// The timeout event may still be pending when a Signal won; it is
+	// lazily cancelled — returning w to the pool is safe because the
+	// generation bump on reuse defeats the stale callback's CAS.
+	waiterPool.Put(w)
+	g.sim.unparkNote(g.label)
 	l.Lock()
-	g.mu.Lock()
-	timed := w.timed
-	g.mu.Unlock()
 	return !timed
 }
 
-// expire runs on the controller when a WaitTimeout deadline fires. If
-// a Signal already won the race it is a lazily cancelled no-op;
-// otherwise it wakes the waiter, granting it a fresh running slot.
-func (g *Gate) expire(w *gateWaiter) {
-	g.mu.Lock()
-	if w.fired {
-		g.mu.Unlock()
+// expire runs on the controller when a WaitTimeout deadline fires. The
+// CAS claims the waiter if and only if it is still armed in the same
+// generation; a waiter already signaled — or recycled into a new wait —
+// makes this a no-op.
+func (g *Gate) expire(w *gateWaiter, gs uint64) {
+	if !w.gs.CompareAndSwap(gs, gs|wTimed) {
 		return
 	}
-	w.fired = true
-	w.timed = true
-	for i, cand := range g.waiters {
+	g.mu.Lock()
+	ws := g.waiters
+	for i, cand := range ws {
 		if cand == w {
-			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			copy(ws[i:], ws[i+1:])
+			ws[len(ws)-1] = nil
+			g.waiters = ws[:len(ws)-1]
 			break
 		}
 	}
 	g.mu.Unlock()
 	g.sim.markRunnable()
-	close(w.ch)
+	w.ch <- struct{}{}
 }
 
 // Signal wakes one parked waiter in FIFO order. It is a no-op when no
@@ -115,19 +161,27 @@ func (g *Gate) expire(w *gateWaiter) {
 func (g *Gate) Signal() {
 	g.mu.Lock()
 	var w *gateWaiter
-	for len(g.waiters) > 0 {
-		cand := g.waiters[0]
-		g.waiters = g.waiters[1:]
-		if !cand.fired {
-			cand.fired = true
+	ws := g.waiters
+	n := 0 // consumed from the front
+	for n < len(ws) {
+		cand := ws[n]
+		n++
+		if cand.fire(wSignaled) {
 			w = cand
 			break
 		}
 	}
+	if n > 0 {
+		// Pop by shifting down, not reslicing: the backing array keeps
+		// its capacity so steady-state park/signal never reallocates.
+		rest := copy(ws, ws[n:])
+		clear(ws[rest:])
+		g.waiters = ws[:rest]
+	}
 	g.mu.Unlock()
 	if w != nil {
 		g.sim.markRunnable()
-		close(w.ch)
+		w.ch <- struct{}{}
 	}
 }
 
@@ -138,15 +192,20 @@ func (g *Gate) Broadcast() {
 	g.waiters = nil
 	g.mu.Unlock()
 	for _, w := range ws {
-		g.mu.Lock()
-		fired := w.fired
-		if !fired {
-			w.fired = true
-		}
-		g.mu.Unlock()
-		if !fired {
+		if w.fire(wSignaled) {
 			g.sim.markRunnable()
-			close(w.ch)
+			w.ch <- struct{}{}
 		}
 	}
+	if len(ws) == 0 {
+		return
+	}
+	// Hand the emptied backing array back so the next Wait appends into
+	// it instead of growing from nil (unless a new waiter raced in).
+	clear(ws)
+	g.mu.Lock()
+	if g.waiters == nil {
+		g.waiters = ws[:0]
+	}
+	g.mu.Unlock()
 }

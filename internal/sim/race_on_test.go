@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector. The zero-allocation tests skip under it: the race
+// runtime disables sync.Pool reuse, so allocs/op is meaningless there.
+const raceDetectorOn = true

@@ -59,7 +59,8 @@ type Simulation struct {
 	nowA     atomic.Int64
 	running  int // actors currently runnable
 	actors   int // live actors (runnable or parked)
-	events   eventHeap
+	events   eventQueue
+	batch    []event // controller scratch, reused across clock advances
 	seq      uint64
 	parked   map[string]int // actor name -> count, for deadlock diagnostics
 	deadline time.Duration  // virtual-time cap; 0 = unlimited
@@ -142,6 +143,11 @@ func (s *Simulation) Go(name string, fn func()) {
 	}()
 }
 
+// wakePool recycles the capacity-1 channels used to wake sleeping
+// actors. See pushLocked for the lifecycle argument that makes reuse
+// safe.
+var wakePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
 // Sleep parks the calling actor for d of virtual time. A non-positive
 // duration returns immediately. Sleep must only be called from an
 // actor goroutine.
@@ -149,12 +155,13 @@ func (s *Simulation) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	ch := make(chan struct{})
+	ch := wakePool.Get().(chan struct{})
 	s.mu.Lock()
 	s.pushLocked(s.now+d, ch, nil)
 	s.parkLocked("sleep")
 	s.mu.Unlock()
 	<-ch
+	wakePool.Put(ch)
 	s.unparkNote("sleep")
 }
 
@@ -179,6 +186,22 @@ func (s *Simulation) After(d time.Duration, fn func()) {
 		t = s.now
 	}
 	s.pushLocked(t, nil, fn)
+	s.mu.Unlock()
+}
+
+// AfterArg schedules fn(arg) to run d of virtual time from now. It is
+// the allocation-free variant of After for hot callers: fn is expected
+// to be a long-lived (package-level) function and arg a reusable
+// pointer, so scheduling captures no fresh closure. Semantics otherwise
+// match After.
+func (s *Simulation) AfterArg(d time.Duration, fn func(any), arg any) {
+	s.mu.Lock()
+	t := s.now + d
+	if d < 0 {
+		t = s.now
+	}
+	s.seq++
+	s.events.push(event{at: t, seq: s.seq, afn: fn, arg: arg})
 	s.mu.Unlock()
 }
 
@@ -216,7 +239,7 @@ func (s *Simulation) Run(main func()) error {
 			s.mu.Unlock()
 			return s.panicErr()
 		}
-		if len(s.events) == 0 {
+		if s.events.len() == 0 {
 			blocked := s.blockedLocked()
 			s.halted = true
 			s.mu.Unlock()
@@ -225,36 +248,127 @@ func (s *Simulation) Run(main func()) error {
 		// Advance to the earliest event time and release every event
 		// due at that instant. Each released event counts as runnable
 		// before the lock drops so the controller cannot advance past
-		// a wake that has not landed yet.
-		t := s.events[0].at
+		// a wake that has not landed yet. The batch buffer is owned by
+		// the controller and reused across advances; it is cleared
+		// after dispatch so it never pins wake channels or closures.
+		t := s.events.nextAt()
 		if s.deadline > 0 && t > s.deadline {
 			s.halted = true
 			s.mu.Unlock()
 			return fmt.Errorf("%w: next event at %v, cap %v", ErrDeadline, t, s.deadline)
 		}
-		var batch []event
-		for len(s.events) > 0 && s.events[0].at == t {
-			batch = append(batch, s.popLocked())
-		}
+		batch := s.events.popBatch(s.batch[:0])
+		s.batch = batch
 		s.now = t
 		s.nowA.Store(int64(t))
-		s.running += len(batch)
 		s.mu.Unlock()
 
-		for _, ev := range batch {
-			if ev.wake != nil {
-				close(ev.wake) // ownership of the running slot passes to the woken actor
-				continue
-			}
-			ev.fn()
+		// Dispatch the batch one event at a time, waiting for the
+		// released work — the woken actor plus anything it wakes in
+		// turn — to park before releasing the next event. Seq order
+		// is deterministic, so this serialization pins the
+		// interleaving of same-instant actors: two actors due at one
+		// instant can no longer race each other to the event queue,
+		// which would make the (at, seq) order of their *next* sends
+		// depend on host scheduling. Once main has finished the wait
+		// degenerates and the rest of the batch is released eagerly,
+		// matching the at-halt semantics of plain dispatch.
+		for i, ev := range batch {
+			// Each event takes its running slot only when released,
+			// so the between-events quiescence wait below sees the
+			// undispatched remainder of the batch as idle.
 			s.mu.Lock()
-			s.running--
-			if s.running == 0 {
-				s.cond.Broadcast()
+			s.running++
+			s.mu.Unlock()
+			if ev.wake != nil {
+				ev.wake <- struct{}{} // ownership of the running slot passes to the woken actor
+			} else {
+				if ev.afn != nil {
+					ev.afn(ev.arg)
+				} else {
+					ev.fn()
+				}
+				s.mu.Lock()
+				s.running--
+				if s.running == 0 {
+					s.cond.Broadcast()
+				}
+				s.mu.Unlock()
+			}
+			if i == len(batch)-1 {
+				break // the top of the outer loop performs this wait
+			}
+			s.mu.Lock()
+			for s.running > 0 && !s.mainEnd {
+				s.cond.Wait()
 			}
 			s.mu.Unlock()
 		}
+		clear(s.batch)
+		s.batch = s.batch[:0]
 	}
+}
+
+// simPool recycles halted kernels so trial runners (cluster.Run and
+// the figure loops in internal/core) reuse the event queue, batch
+// buffer, and diagnostics map across trials instead of reallocating
+// them per trial.
+var simPool = sync.Pool{New: func() any { return New() }}
+
+// Acquire returns a kernel from the pool — either a fresh one or a
+// reset, previously released one. Pooled reuse affects only memory: a
+// reacquired kernel starts at virtual time zero with sequence zero, so
+// simulations behave identically whether or not the kernel was
+// recycled.
+func Acquire() *Simulation {
+	return simPool.Get().(*Simulation)
+}
+
+// Release returns a halted kernel to the pool. It waits for actors
+// woken during teardown to finish exiting (a bounded wait: the last
+// exiting actor broadcasts); if any actor is still parked after that —
+// a leaked goroutine that would observe the next simulation — the
+// kernel is simply not pooled and the garbage collector reclaims it.
+// Release is a no-op before Run has returned.
+func (s *Simulation) Release() {
+	s.mu.Lock()
+	if !s.halted {
+		s.mu.Unlock()
+		return
+	}
+	for s.running > 0 {
+		s.cond.Wait()
+	}
+	idle := s.actors == 0
+	s.mu.Unlock()
+	if !idle {
+		return
+	}
+	s.reset()
+	simPool.Put(s)
+}
+
+// reset restores a drained kernel to its initial state while keeping
+// allocated capacity. Callers guarantee no goroutine references s.
+func (s *Simulation) reset() {
+	s.now = 0
+	s.nowA.Store(0)
+	s.seq = 0
+	s.deadline = 0
+	s.mainSet = false
+	s.mainEnd = false
+	s.halted = false
+	// Pending events at halt (periodic timers, lazily cancelled gate
+	// expirations) are dropped along with their closures.
+	clear(s.events.heap)
+	s.events.heap = s.events.heap[:0]
+	clear(s.events.lane)
+	s.events.lane = s.events.lane[:0]
+	clear(s.batch)
+	s.batch = s.batch[:0]
+	clear(s.parked)
+	s.panicked = nil
+	s.tracer.Store(nil)
 }
 
 // Halted reports whether Run has returned.
@@ -313,14 +427,22 @@ func (s *Simulation) blockedLocked() string {
 	return strings.Join(parts, ", ")
 }
 
+// pushLocked schedules a wake or callback event. Callers hold s.mu.
+//
+// Wake-channel lifecycle: wake channels come from wakePool and are
+// buffered with capacity 1. Each Sleep pushes its channel exactly once,
+// and the controller signals it exactly once — a single non-blocking
+// token send when the event's instant arrives. The sleeping actor
+// returns the channel to the pool only after receiving that token, so a
+// pooled channel is always empty when reused and a recycled channel can
+// never be signaled on behalf of a previous Sleep: the one token it
+// could ever carry was consumed before the channel re-entered the pool.
+// (The controller signals by sending a token rather than closing the
+// channel precisely so the channel survives reuse.)
 func (s *Simulation) pushLocked(at time.Duration, wake chan struct{}, fn func()) {
 	s.seq++
 	s.events.push(event{at: at, seq: s.seq, wake: wake, fn: fn})
 	// A sleeping controller only re-checks after running drops to
 	// zero; new events need no extra signal because only running
 	// actors (or controller callbacks) create them.
-}
-
-func (s *Simulation) popLocked() event {
-	return s.events.pop()
 }
