@@ -220,6 +220,14 @@ func BenchmarkSleepWake(b *testing.B) { kernelbench.SleepWake(b) }
 // (send → deliver → recv → release).
 func BenchmarkNetsimHop(b *testing.B) { kernelbench.NetsimHop(b) }
 
+// BenchmarkHistogramRecord measures one streaming-histogram
+// observation on the telemetry hot path (pinned at 0 allocs/op).
+func BenchmarkHistogramRecord(b *testing.B) { kernelbench.HistogramRecord(b) }
+
+// BenchmarkRegistryScrape measures one windowed scrape cycle over a
+// representative telemetry instrument mix.
+func BenchmarkRegistryScrape(b *testing.B) { kernelbench.RegistryScrape(b) }
+
 // BenchmarkSimSleepEvents measures the event-queue throughput of the
 // virtual-time kernel.
 func BenchmarkSimSleepEvents(b *testing.B) {

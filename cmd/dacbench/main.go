@@ -155,6 +155,8 @@ func record(trials int, scaleSizes []int) (*Report, error) {
 		{"kernel/event_dispatch", kernelbench.EventDispatch},
 		{"kernel/sleep_wake", kernelbench.SleepWake},
 		{"kernel/netsim_hop", kernelbench.NetsimHop},
+		{"telemetry/hist_record", kernelbench.HistogramRecord},
+		{"telemetry/registry_scrape", kernelbench.RegistryScrape},
 	} {
 		r := testing.Benchmark(kb.fn)
 		rep.Allocs[kb.name] = float64(r.AllocsPerOp())

@@ -9,6 +9,7 @@
 //	dacsim -fig ablations      # the DESIGN.md ablation suite
 //	dacsim -fig 8 -csv         # machine-readable output
 //	dacsim -fig breakdown -capture prof   # profiler captures for dacprof
+//	dacsim -fig slo -scrape-out scrape    # live telemetry scrapes + SLO compliance
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, scale, breakdown, ablations, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, scale, breakdown, slo, ablations, all")
 	trials := flag.Int("trials", 10, "trials per data point (the paper averages 10)")
 	maxACs := flag.Int("max", 6, "maximum accelerator count for figures 7(a) and 7(b)")
 	scaleNodes := flag.Int("scale-max", 256, "largest compute-node count for -fig scale (accelerators and jobs grow 8x)")
@@ -33,6 +34,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every simulated run to this file")
 	captureOut := flag.String("capture", "", "with -fig breakdown: write one profiler capture (JSONL, readable by dacprof) per cluster size to PREFIX-<nodes>.jsonl")
+	scrapeOut := flag.String("scrape-out", "", "with -fig slo: write the scrape series (JSONL, readable by dacstat) and the Prometheus exposition per cluster size to PREFIX-<nodes>.jsonl / PREFIX-<nodes>.prom")
 	showMetrics := flag.Bool("metrics", false, "print the tracer's metrics summary (span latencies, counters, gauges) after the figures")
 	flag.Parse()
 
@@ -135,6 +137,45 @@ func main() {
 		emit(repro.BreakdownTable(pts))
 		emit(repro.DynBreakdownTable(pts))
 	}
+	runSLO := func() {
+		var sizes []int
+		for _, n := range repro.SLOSizes {
+			if n <= *scaleNodes {
+				sizes = append(sizes, n)
+			}
+		}
+		if len(sizes) == 0 || sizes[len(sizes)-1] != *scaleNodes {
+			sizes = append(sizes, *scaleNodes)
+		}
+		pts, err := repro.SLO(params, sizes)
+		if err != nil {
+			log.Fatalf("dacsim: slo: %v", err)
+		}
+		emit(repro.SLOTable(pts))
+		emit(repro.SLOComplianceTable(pts))
+		if *scrapeOut != "" {
+			prefix := strings.TrimSuffix(*scrapeOut, ".jsonl")
+			for _, pt := range pts {
+				path := fmt.Sprintf("%s-%d.jsonl", prefix, pt.ComputeNodes)
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatalf("dacsim: scrape-out: %v", err)
+				}
+				if err := repro.WriteScrapeJSONL(f, pt.Windows); err != nil {
+					log.Fatalf("dacsim: scrape-out: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("dacsim: scrape-out: %v", err)
+				}
+				fmt.Fprintf(os.Stderr, "dacsim: wrote %d scrape windows to %s\n", len(pt.Windows), path)
+				promPath := fmt.Sprintf("%s-%d.prom", prefix, pt.ComputeNodes)
+				if err := os.WriteFile(promPath, []byte(pt.Prom), 0o644); err != nil {
+					log.Fatalf("dacsim: scrape-out: %v", err)
+				}
+				fmt.Fprintf(os.Stderr, "dacsim: wrote Prometheus exposition to %s\n", promPath)
+			}
+		}
+	}
 	runAblations := func() {
 		dp, err := repro.AblationDynPriority(params, 16, 1)
 		if err != nil {
@@ -224,6 +265,9 @@ func main() {
 	if *captureOut != "" && *fig != "breakdown" {
 		log.Fatalf("dacsim: -capture requires -fig breakdown (per-size private tracers)")
 	}
+	if *scrapeOut != "" && *fig != "slo" {
+		log.Fatalf("dacsim: -scrape-out requires -fig slo (per-size private registries)")
+	}
 	start := time.Now()
 	switch *fig {
 	case "7a":
@@ -238,6 +282,8 @@ func main() {
 		runScale()
 	case "breakdown":
 		runBreakdown()
+	case "slo":
+		runSLO()
 	case "ablations":
 		runAblations()
 	case "all":
@@ -247,7 +293,7 @@ func main() {
 		run9()
 		runAblations()
 	default:
-		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, scale, breakdown, ablations, all)", *fig)
+		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, scale, breakdown, slo, ablations, all)", *fig)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -1,0 +1,242 @@
+// Command dacstat renders the scrape files written by
+// dacsim -fig slo -scrape-out: a per-instrument summary of a run, the
+// full per-window series of one instrument, or a diff of two runs.
+//
+// Usage:
+//
+//	dacstat scrape-256.jsonl                          # per-instrument summary
+//	dacstat -windows -name pbs.dyn_latency s.jsonl    # one instrument's window series
+//	dacstat -csv scrape-256.jsonl                     # machine-readable output
+//	dacstat -diff scrape-a.jsonl scrape-b.jsonl       # compare two runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	windows := flag.Bool("windows", false, "render the per-window series instead of the summary (use -name to select instruments)")
+	name := flag.String("name", "", "only instruments whose name contains this substring")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	diff := flag.Bool("diff", false, "compare two scrape files (old new)")
+	flag.Parse()
+
+	emit := func(t *metrics.Table) {
+		var err error
+		if *csv {
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatalf("dacstat: %v", err)
+		}
+		fmt.Println()
+	}
+
+	args := flag.Args()
+	switch {
+	case *diff:
+		if len(args) != 2 {
+			log.Fatalf("dacstat: -diff needs exactly two scrape files, got %d", len(args))
+		}
+		emit(diffTable(load(args[0]), load(args[1]), args[0], args[1], *name))
+	case len(args) != 1:
+		fmt.Fprintln(os.Stderr, "usage: dacstat [-windows] [-name SUBSTR] [-csv] SCRAPE.jsonl")
+		fmt.Fprintln(os.Stderr, "       dacstat -diff [-name SUBSTR] [-csv] OLD.jsonl NEW.jsonl")
+		os.Exit(2)
+	case *windows:
+		emit(windowTable(load(args[0]), args[0], *name))
+	default:
+		emit(summaryTable(load(args[0]), args[0], *name))
+	}
+}
+
+func load(path string) []repro.TelemetryWindow {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("dacstat: %v", err)
+	}
+	defer f.Close()
+	wins, err := repro.ReadScrapeJSONL(f)
+	if err != nil {
+		log.Fatalf("dacstat: %s: %v", path, err)
+	}
+	if len(wins) == 0 {
+		log.Fatalf("dacstat: %s: no scrape windows", path)
+	}
+	return wins
+}
+
+// instrumentStats aggregates one instrument's rows across a run.
+type instrumentStats struct {
+	name, kind string
+	windows    int     // windows in which the instrument appeared
+	active     int     // windows with a non-zero delta
+	total      float64 // final cumulative value
+	deltaSum   float64
+	deltaMax   float64
+	p50Worst   time.Duration // histograms: largest per-window p50
+	p99Worst   time.Duration
+	maxWorst   time.Duration
+}
+
+// collect folds a window series into per-instrument aggregates,
+// returned in (name, kind) order. filter narrows by name substring.
+func collect(wins []repro.TelemetryWindow, filter string) []*instrumentStats {
+	byKey := map[string]*instrumentStats{}
+	var order []string
+	for _, w := range wins {
+		for _, r := range w.Rows {
+			if filter != "" && !strings.Contains(r.Name, filter) {
+				continue
+			}
+			key := r.Name + "\x00" + string(r.Kind)
+			st := byKey[key]
+			if st == nil {
+				st = &instrumentStats{name: r.Name, kind: string(r.Kind)}
+				byKey[key] = st
+				order = append(order, key)
+			}
+			st.windows++
+			st.total = r.Total
+			st.deltaSum += r.Delta
+			if r.Delta != 0 {
+				st.active++
+			}
+			if r.Delta > st.deltaMax {
+				st.deltaMax = r.Delta
+			}
+			if r.P50 > st.p50Worst {
+				st.p50Worst = r.P50
+			}
+			if r.P99 > st.p99Worst {
+				st.p99Worst = r.P99
+			}
+			if r.Max > st.maxWorst {
+				st.maxWorst = r.Max
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]*instrumentStats, len(order))
+	for i, key := range order {
+		out[i] = byKey[key]
+	}
+	return out
+}
+
+// num renders a float compactly (totals and deltas mix counts,
+// gauges, and seconds).
+func num(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// dur renders a histogram statistic, "-" when the instrument never
+// observed anything.
+func dur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return metrics.Ms(d)
+}
+
+func summaryTable(wins []repro.TelemetryWindow, path, filter string) *metrics.Table {
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Scrape summary: %s (%d windows, %v of virtual time)",
+			path, len(wins), wins[len(wins)-1].End-wins[0].Start),
+		Headers: []string{"instrument", "kind", "windows", "active",
+			"final_total", "delta_sum", "delta_max", "p50_worst_ms", "p99_worst_ms", "max_ms"},
+	}
+	for _, st := range collect(wins, filter) {
+		t.AddRow(st.name, st.kind, fmt.Sprint(st.windows), fmt.Sprint(st.active),
+			num(st.total), num(st.deltaSum), num(st.deltaMax),
+			dur(st.p50Worst), dur(st.p99Worst), dur(st.maxWorst))
+	}
+	return t
+}
+
+func windowTable(wins []repro.TelemetryWindow, path, filter string) *metrics.Table {
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Scrape windows: %s", path),
+		Headers: []string{"window", "start_ms", "end_ms", "instrument", "kind",
+			"total", "delta", "p50_ms", "p99_ms", "p999_ms", "mean_ms", "max_ms"},
+	}
+	for _, w := range wins {
+		for _, r := range w.Rows {
+			if filter != "" && !strings.Contains(r.Name, filter) {
+				continue
+			}
+			t.AddRow(fmt.Sprint(w.Index), metrics.Ms(w.Start), metrics.Ms(w.End),
+				r.Name, string(r.Kind), num(r.Total), num(r.Delta),
+				dur(r.P50), dur(r.P99), dur(r.P999), dur(r.Mean), dur(r.Max))
+		}
+	}
+	return t
+}
+
+func diffTable(oldW, newW []repro.TelemetryWindow, oldPath, newPath, filter string) *metrics.Table {
+	oldStats := collect(oldW, filter)
+	newStats := collect(newW, filter)
+	oldBy := map[string]*instrumentStats{}
+	for _, st := range oldStats {
+		oldBy[st.name+"\x00"+st.kind] = st
+	}
+	newBy := map[string]*instrumentStats{}
+	for _, st := range newStats {
+		newBy[st.name+"\x00"+st.kind] = st
+	}
+	var keys []string
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, ok := oldBy[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Scrape diff: %s -> %s (final totals and worst per-window p99)",
+			oldPath, newPath),
+		Headers: []string{"instrument", "kind", "total_old", "total_new", "total_diff",
+			"p99_worst_old_ms", "p99_worst_new_ms", "p99_diff_ms"},
+	}
+	for _, k := range keys {
+		o, n := oldBy[k], newBy[k]
+		name, kind := k[:strings.Index(k, "\x00")], k[strings.Index(k, "\x00")+1:]
+		cell := func(st *instrumentStats, f func(*instrumentStats) string) string {
+			if st == nil {
+				return "-"
+			}
+			return f(st)
+		}
+		totalDiff, p99Diff := "-", "-"
+		if o != nil && n != nil {
+			totalDiff = num(n.total - o.total)
+			if o.p99Worst != 0 || n.p99Worst != 0 {
+				p99Diff = metrics.Ms(n.p99Worst - o.p99Worst)
+			}
+		}
+		t.AddRow(name, kind,
+			cell(o, func(st *instrumentStats) string { return num(st.total) }),
+			cell(n, func(st *instrumentStats) string { return num(st.total) }),
+			totalDiff,
+			cell(o, func(st *instrumentStats) string { return dur(st.p99Worst) }),
+			cell(n, func(st *instrumentStats) string { return dur(st.p99Worst) }),
+			p99Diff)
+	}
+	return t
+}

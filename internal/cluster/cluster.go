@@ -16,6 +16,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,12 @@ type Params struct {
 	// daemon is built, so every layer (netsim, pbs, maui, dac) records
 	// spans and metrics into it. Nil disables tracing at no cost.
 	Tracer *trace.Tracer
+
+	// Telemetry, when non-nil, is installed on the simulation before
+	// any daemon is built, so every layer resolves its live-metrics
+	// instruments at construction. Scrape it with telemetry.NewScraper
+	// over the simulation's clock. Nil disables telemetry at no cost.
+	Telemetry *telemetry.Registry
 }
 
 // SchedulerDaemon is what the cluster needs from a scheduler: a
@@ -136,6 +143,9 @@ func ACName(i int) string { return fmt.Sprintf("ac%d", i) }
 func New(s *sim.Simulation, p Params) *Cluster {
 	if p.Tracer != nil {
 		s.SetTracer(p.Tracer)
+	}
+	if p.Telemetry != nil {
+		s.SetTelemetry(p.Telemetry)
 	}
 	net := netsim.New(s, netsim.LinkParams{
 		Latency:       p.NetLatency,

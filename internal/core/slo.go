@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dac"
+	"repro/internal/metrics"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// The slo experiment is the live-telemetry view of the scale ladder:
+// it replays the synthetic SWF workload on clusters of growing size
+// while an open-loop stream of prober jobs issues paced dynamic
+// requests, scrapes every layer's instruments on a fixed virtual-time
+// interval, and evaluates a set of service-level objectives against
+// the windowed series. Where the breakdown figure explains *why* a
+// latency is what it is, the slo figure watches it *live*: per-window
+// p50/p99/p999 dynamic-request latency, scheduler cycle occupancy,
+// queue depth, and fabric load, with per-objective compliance and the
+// virtual timestamp of the first breach.
+
+// SLOPoint is one row of the slo figure: a cluster size, its scrape
+// series, and the compliance evaluation.
+type SLOPoint struct {
+	ComputeNodes int
+	Accelerators int
+	Jobs         int // trace jobs replayed
+	Probers      int // dynamic-request prober jobs
+	DynGranted   int // dynamic requests granted across the run
+	Makespan     time.Duration
+	Windows      []telemetry.Window     // the scrape series (one per SLOScrapeInterval)
+	Compliance   []telemetry.Compliance // SLOObjectives() evaluated over Windows
+	Prom         string                 // Prometheus text exposition of the final cumulative state
+}
+
+// SLOSizes is the default compute-node axis of the slo figure: the
+// top half of the scale ladder, where the scheduler is busy enough
+// for occupancy and latency windows to carry signal.
+var SLOSizes = []int{64, 128, 256}
+
+// Pacing of the open-loop dynamic-request stream: every prober issues
+// sloReqsPerProber requests, one each sloProbePace of virtual time,
+// so the stream spans the SWF submission window and its drain.
+const (
+	sloProbePace     = 3 * time.Second
+	sloProbeHold     = 500 * time.Millisecond // accelerator hold per request, so dac.util_dynamic carries signal
+	sloReqsPerProber = 24
+
+	// SLOScrapeInterval is the virtual-time scrape period.
+	SLOScrapeInterval = 5 * time.Second
+)
+
+// sloProbers sets how many prober jobs run at a cluster size: enough
+// that every scrape window sees dynamic-request samples, few enough
+// that the probers do not become the workload.
+func sloProbers(n int) int {
+	if p := n / 32; p > 2 {
+		return p
+	}
+	return 2
+}
+
+// SLOObjectives is the figure's service-level objective set. The
+// latency and cycle bounds are calibrated against the ladder's
+// observed baselines with ~3x headroom, so they hold at every size; the
+// scheduler-occupancy bound is deliberately tight — a busy scheduler
+// breaches it in the first windows, exercising the first-breach
+// timestamp that a real operator would alarm on.
+func SLOObjectives() []telemetry.Objective {
+	return []telemetry.Objective{
+		{Name: "dyn-p50", Instrument: "pbs.dyn_latency", Stat: telemetry.StatP50, Max: 0.150},
+		{Name: "dyn-p99", Instrument: "pbs.dyn_latency", Stat: telemetry.StatP99, Max: 0.250},
+		{Name: "cycle-mean", Instrument: "maui.cycle", Stat: telemetry.StatMean, Max: 0.050},
+		{Name: "sched-occupancy", Instrument: "maui.occupancy", Stat: telemetry.StatDelta, Max: 0.02},
+	}
+}
+
+// SLO runs the live-telemetry experiment for the given compute-node
+// counts (SLOSizes when nil). Each point is an independent simulation
+// with a private registry and scraper, so the points fan out over the
+// trial worker pool and every table, JSONL series, and Prometheus
+// page is byte-identical at any parallelism level.
+func SLO(p cluster.Params, sizes []int) ([]SLOPoint, error) {
+	if len(sizes) == 0 {
+		sizes = SLOSizes
+	}
+	objectives := SLOObjectives()
+	out := make([]SLOPoint, len(sizes))
+	err := forEach(len(sizes), func(idx int) error {
+		n := sizes[idx]
+		if n < 1 {
+			return fmt.Errorf("core: SLO size %d", n)
+		}
+		tp := scaleParams(p, n)
+		reg := telemetry.New()
+		tp.Telemetry = reg
+		jobs := n * JobsPerCN
+		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+		if err != nil {
+			return fmt.Errorf("core: SLO n=%d: %w", n, err)
+		}
+
+		s := sim.Acquire()
+		defer s.Release()
+		c := cluster.New(s, tp)
+		scr := telemetry.NewScraper(reg, s, SLOScrapeInterval)
+		probers := sloProbers(n)
+		var pt SLOPoint
+		ready := make([]*signal, probers)
+		for i := range ready {
+			ready[i] = newSignal(s, fmt.Sprintf("slo-ready-%d", i))
+		}
+		goahead := newSignal(s, "slo-go")
+		runErr := s.Run(func() {
+			defer c.Close()
+			scr.Start()
+			c.Start()
+			client := c.Client("front")
+
+			// The probers start on the idle cluster and hold one core
+			// each; once the trace is fully submitted they issue an
+			// open-loop stream of paced dynamic requests into the
+			// loaded scheduler, staggered so their phases differ.
+			proberIDs := make([]string, 0, probers)
+			for i := 0; i < probers; i++ {
+				i := i
+				id, err := client.Submit(pbs.JobSpec{
+					Name: fmt.Sprintf("slo-probe-%d", i), Owner: "exp",
+					Nodes: 1, PPN: 1, ACPN: 0, Walltime: time.Hour,
+					Script: func(env *pbs.JobEnv) {
+						ac, _, err := dac.Init(env)
+						if err != nil {
+							return
+						}
+						defer ac.Finalize()
+						ready[i].fire()
+						goahead.wait()
+						s.Sleep(sloProbePace * time.Duration(i) / time.Duration(probers))
+						for r := 0; r < sloReqsPerProber; r++ {
+							clientID, _, err := ac.Get(1)
+							if err == nil {
+								s.Sleep(sloProbeHold)
+								ac.Free(clientID)
+							}
+							s.Sleep(sloProbePace)
+						}
+					},
+				})
+				if err != nil {
+					return
+				}
+				proberIDs = append(proberIDs, id)
+			}
+			for _, sg := range ready {
+				sg.wait()
+			}
+
+			ids, err := workload.Replay(s, client, entries)
+			if err != nil {
+				return
+			}
+			goahead.fire()
+			for _, id := range ids {
+				client.Wait(id)
+			}
+			for _, id := range proberIDs {
+				client.Wait(id)
+			}
+			scr.Stop()
+			pt.Makespan = s.Now()
+			var prom strings.Builder
+			if err := telemetry.WriteProm(&prom, reg, s.Now()); err == nil {
+				pt.Prom = prom.String()
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("core: SLO n=%d: %w", n, runErr)
+		}
+		pt.ComputeNodes = n
+		pt.Accelerators = tp.Accelerators
+		pt.Jobs = len(entries)
+		pt.Probers = probers
+		pt.DynGranted = int(reg.Counter("pbs.dyn_granted").Value())
+		pt.Windows = scr.Windows()
+		pt.Compliance = telemetry.Evaluate(pt.Windows, objectives)
+		out[idx] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sloCompliant counts the objectives a point meets.
+func sloCompliant(pt SLOPoint) int {
+	met := 0
+	for _, c := range pt.Compliance {
+		if c.Compliant {
+			met++
+		}
+	}
+	return met
+}
+
+// SLOTable renders the per-size overview of the slo figure.
+func SLOTable(points []SLOPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title: "SLO: live telemetry over the scale ladder (open-loop dynamic-request stream)",
+		Headers: []string{"compute_nodes", "accelerators", "jobs", "probers",
+			"dyn_granted", "windows", "makespan_ms", "slo_met"},
+	}
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Accelerators), fmt.Sprint(pt.Jobs),
+			fmt.Sprint(pt.Probers), fmt.Sprint(pt.DynGranted), fmt.Sprint(len(pt.Windows)),
+			metrics.Ms(pt.Makespan),
+			fmt.Sprintf("%d/%d", sloCompliant(pt), len(pt.Compliance)),
+		)
+	}
+	return t
+}
+
+// sloValue renders an observed statistic in the objective's native
+// unit: milliseconds for time-valued stats, plain for ratios/counts.
+func sloValue(stat telemetry.Stat, v float64) string {
+	switch stat {
+	case telemetry.StatP50, telemetry.StatP99, telemetry.StatP999,
+		telemetry.StatMean, telemetry.StatMax:
+		return fmt.Sprintf("%.3fms", v*1e3)
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// SLOComplianceTable renders the per-objective evaluation: one row per
+// (cluster size, objective) with the bound, the worst observed value,
+// and the virtual time of the first breach.
+func SLOComplianceTable(points []SLOPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title: "SLO compliance (worst observed value and virtual first-breach time)",
+		Headers: []string{"compute_nodes", "objective", "instrument", "stat",
+			"target", "windows", "breaches", "worst", "first_breach_ms", "compliant"},
+	}
+	for _, pt := range points {
+		for _, c := range pt.Compliance {
+			first := "-"
+			if c.First >= 0 {
+				first = metrics.Ms(c.First)
+			}
+			t.AddRow(
+				fmt.Sprint(pt.ComputeNodes), c.Objective.Name, c.Objective.Instrument,
+				string(c.Objective.Stat), c.Objective.Target(),
+				fmt.Sprint(c.Windows), fmt.Sprint(c.Breaches),
+				sloValue(c.Objective.Stat, c.Worst), first,
+				fmt.Sprint(c.Compliant),
+			)
+		}
+	}
+	return t
+}

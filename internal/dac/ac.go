@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/pbs"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -56,17 +57,34 @@ type AC struct {
 	proc *mpi.Proc
 	ifl  *pbs.Client
 
+	inst acInstruments
+
 	mu        sync.Mutex
 	comm      *mpi.Comm
 	handles   map[int]*Accel
 	rankOf    map[int]int   // handle id -> communicator rank
 	sets      map[int][]int // client-id -> handle ids
+	setAt     map[int]time.Duration
 	staticIDs []int
+	staticAt  time.Duration
 	nextID    int
 	nextSeq   int
 	gen       int
 	finalized bool
 	stats     Stats
+}
+
+// acInstruments are the library's live metrics: attach/detach counts,
+// currently attached accelerators, and busy-time accounting per
+// allocation class. Utilization accrues when a set is released (or at
+// Finalize), so cumulative ratios are exact while a window's ratio
+// attributes a whole interval to the window it completes in.
+type acInstruments struct {
+	attach      *telemetry.Counter
+	detach      *telemetry.Counter
+	attached    *telemetry.Gauge
+	utilStatic  *telemetry.Occupancy
+	utilDynamic *telemetry.Occupancy
 }
 
 // Init is AC_Init: it connects the compute-node process with the
@@ -79,6 +97,7 @@ func Init(env *pbs.JobEnv) (*AC, []*Accel, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	reg := ctx.Sim.Telemetry()
 	ac := &AC{
 		ctx:     ctx,
 		env:     env,
@@ -87,6 +106,14 @@ func Init(env *pbs.JobEnv) (*AC, []*Accel, error) {
 		handles: make(map[int]*Accel),
 		rankOf:  make(map[int]int),
 		sets:    make(map[int][]int),
+		setAt:   make(map[int]time.Duration),
+		inst: acInstruments{
+			attach:      reg.Counter("dac.attach"),
+			detach:      reg.Counter("dac.detach"),
+			attached:    reg.Gauge("dac.attached"),
+			utilStatic:  reg.Occupancy("dac.util_static"),
+			utilDynamic: reg.Occupancy("dac.util_dynamic"),
+		},
 	}
 	ac.comm = ac.proc.World()
 	if len(env.AccHosts) == 0 {
@@ -133,6 +160,9 @@ func Init(env *pbs.JobEnv) (*AC, []*Accel, error) {
 		ac.staticIDs = append(ac.staticIDs, h.id)
 		accels[i] = h
 	}
+	ac.staticAt = ctx.Sim.Now()
+	ac.inst.attach.Add(int64(len(accels)))
+	ac.inst.attached.Add(float64(len(accels)))
 	return ac, accels, nil
 }
 
@@ -223,8 +253,11 @@ func (ac *AC) Get(count int) (int, []*Accel, error) {
 		ids[i] = h.id
 	}
 	ac.sets[grant.ClientID] = ids
+	ac.setAt[grant.ClientID] = ac.ctx.Sim.Now()
 	ac.stats.Gets = append(ac.stats.Gets, GetStat{Count: count, Batch: batch, MPI: mpiT})
 	ac.mu.Unlock()
+	ac.inst.attach.Add(int64(len(handles)))
+	ac.inst.attached.Add(float64(len(handles)))
 	return grant.ClientID, handles, nil
 }
 
@@ -318,6 +351,8 @@ func (ac *AC) releaseLocal(clientID int) error {
 		return fmt.Errorf("%w: client-id %d", ErrUnknownSet, clientID)
 	}
 	delete(ac.sets, clientID)
+	heldFor := ac.ctx.Sim.Now() - ac.setAt[clientID]
+	delete(ac.setAt, clientID)
 	comm := ac.comm
 	released := make(map[int]bool, len(ids))
 	for _, id := range ids {
@@ -371,6 +406,9 @@ func (ac *AC) releaseLocal(clientID int) error {
 		ac.rankOf[id] = newRank[r]
 	}
 	ac.mu.Unlock()
+	ac.inst.detach.Add(int64(len(ids)))
+	ac.inst.attached.Add(-float64(len(ids)))
+	ac.inst.utilDynamic.OnFor(heldFor * time.Duration(len(ids)))
 	return nil
 }
 
@@ -386,7 +424,23 @@ func (ac *AC) Finalize() error {
 	ac.finalized = true
 	comm := ac.comm
 	ranks := ac.daemonRanksLocked()
+	// Settle the utilization accounting: dynamic sets still held
+	// accrue busy time until now, and the static set covers Init
+	// through Finalize.
+	now := ac.ctx.Sim.Now()
+	var detached int
+	for clientID, ids := range ac.sets {
+		ac.inst.utilDynamic.OnFor((now - ac.setAt[clientID]) * time.Duration(len(ids)))
+		detached += len(ids)
+	}
+	clear(ac.setAt)
+	if len(ac.staticIDs) > 0 {
+		ac.inst.utilStatic.OnFor((now - ac.staticAt) * time.Duration(len(ac.staticIDs)))
+		detached += len(ac.staticIDs)
+	}
 	ac.mu.Unlock()
+	ac.inst.detach.Add(int64(detached))
+	ac.inst.attached.Add(-float64(detached))
 	for _, r := range ranks {
 		_ = comm.Send(r, opTag, opRequest{Op: "exit"}, 0)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func bump(a any) { *(a.(*int))++ }
@@ -53,6 +54,75 @@ func SleepWake(b *testing.B) {
 		}
 	}); err != nil {
 		b.Fatalf("Run: %v", err)
+	}
+}
+
+// HistogramRecord measures one streaming-histogram observation: the
+// log-scale bucket index plus four atomic updates. The telemetry
+// zero-alloc gate (internal/telemetry's TestRecordZeroAlloc) pins this
+// path at 0 allocs/op; dacbench records the same number as a gated
+// series so growth fails the benchmark-regression job too.
+func HistogramRecord(b *testing.B) {
+	h := telemetry.NewHistogram()
+	for i := 0; i < 16; i++ { // settle bucket state
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cycle through ~3 decades of latency so records hit many
+		// buckets, like real dyn_latency observations do.
+		h.Record(time.Duration(i%1000+1) * 50 * time.Microsecond)
+	}
+}
+
+// scrapeClock is the minimal manual telemetry.Clock for driving
+// ScrapeNow without a simulation kernel.
+type scrapeClock struct{ now time.Duration }
+
+func (c *scrapeClock) Now() time.Duration          { return c.now }
+func (c *scrapeClock) After(time.Duration, func()) {}
+func (c *scrapeClock) advance(d time.Duration)     { c.now += d }
+
+// RegistryScrape measures one full scrape cycle over a representative
+// instrument mix (4 counters, 2 gauges, 2 histograms, 1 occupancy —
+// roughly what one instrumented subsystem registers). Each iteration
+// is self-contained — fresh scraper, warm-up scrape, then 4 windows —
+// so allocs/op is a deterministic constant the dacbench compare gate
+// can hold flat.
+func RegistryScrape(b *testing.B) {
+	clk := &scrapeClock{}
+	reg := telemetry.New()
+	ctrs := []*telemetry.Counter{
+		reg.Counter("bench.submits"), reg.Counter("bench.msgs"),
+		reg.Counter("bench.bytes"), reg.Counter("bench.done"),
+	}
+	gauges := []*telemetry.Gauge{
+		reg.Gauge("bench.queue_depth"), reg.Gauge("bench.inflight"),
+	}
+	hists := []*telemetry.Histogram{
+		reg.Histogram("bench.latency"), reg.Histogram("bench.cycle"),
+	}
+	occ := reg.Occupancy("bench.busy")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scr := telemetry.NewScraper(reg, clk, time.Second)
+		scr.ScrapeNow() // establish prev-state baselines
+		for w := 0; w < 4; w++ {
+			for _, c := range ctrs {
+				c.Add(3)
+			}
+			for _, g := range gauges {
+				g.Set(float64(w))
+			}
+			for _, h := range hists {
+				h.Record(time.Duration(w+1) * time.Millisecond)
+			}
+			occ.OnFor(100 * time.Millisecond)
+			clk.advance(time.Second)
+			scr.ScrapeNow()
+		}
 	}
 }
 

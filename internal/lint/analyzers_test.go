@@ -35,6 +35,10 @@ func TestSpanBalance(t *testing.T) {
 	linttest.Run(t, "testdata", []*analysis.Analyzer{lint.NewSpanBalance()}, "spans")
 }
 
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, "testdata", []*analysis.Analyzer{lint.NewMetricName()}, "metricnames")
+}
+
 // TestIgnoreDirectives covers the suppression contract end to end:
 // wrong-name directives suppress nothing, multi-name and same-line
 // directives suppress their named analyzers.
@@ -74,10 +78,10 @@ func TestMalformedIgnore(t *testing.T) {
 	}
 }
 
-// TestSuite pins the shipped analyzer set: six analyzers, stable
+// TestSuite pins the shipped analyzer set: seven analyzers, stable
 // names, stable order — the CI job summary keys off these names.
 func TestSuite(t *testing.T) {
-	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance"}
+	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance", "metricname"}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

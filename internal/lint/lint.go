@@ -2,7 +2,7 @@
 // the simulator's determinism and virtual-time invariants at vet
 // time, before they can cost a flaky benchmark gate.
 //
-// The suite (see Suite) ships six analyzers:
+// The suite (see Suite) ships seven analyzers:
 //
 //   - walltime: no wall-clock time (time.Now, time.Sleep, ...) in
 //     simulation code — virtual time must come from internal/sim.
@@ -21,6 +21,9 @@
 //     (Tracer.Start, Span.Child) must reach an End in that scope or
 //     be handed off — an open span truncates the causal chains the
 //     critical-path profiler reconstructs.
+//   - metricname: instrument names passed to the telemetry registry
+//     and the tracer's metric methods must be compile-time constants —
+//     runtime-assembled names make metric cardinality unbounded.
 //
 // False positives are suppressed in place with a reasoned directive:
 //
@@ -87,6 +90,7 @@ func Suite() []*analysis.Analyzer {
 		NewLockDiscipline(lockScope...),
 		NewVTCtx(actorPackages...),
 		NewSpanBalance(),
+		NewMetricName(),
 	}
 }
 

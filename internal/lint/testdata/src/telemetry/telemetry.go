@@ -1,0 +1,37 @@
+// Package telemetry is a minimal stand-in for
+// repro/internal/telemetry, just enough surface for the metricname
+// fixtures to type-check: the analyzer matches the registry's
+// instrument constructors by package name, receiver type, and method
+// name, so this fixture exercises exactly the same resolution path as
+// the real package.
+package telemetry
+
+// Registry mirrors the instrument-owning half of the real registry.
+type Registry struct{}
+
+// Counter mirrors one instrument handle per kind.
+type Counter struct{}
+
+// Gauge mirrors the real gauge handle.
+type Gauge struct{}
+
+// Histogram mirrors the real histogram handle.
+type Histogram struct{}
+
+// Occupancy mirrors the real occupancy handle.
+type Occupancy struct{}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+// Occupancy returns the named occupancy tracker.
+func (r *Registry) Occupancy(name string) *Occupancy { return &Occupancy{} }

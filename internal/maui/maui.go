@@ -17,6 +17,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -107,6 +108,7 @@ type Scheduler struct {
 	ep       *netsim.Endpoint
 	serverEP string
 	params   Params
+	inst     schedInstruments
 
 	mu      sync.Mutex
 	usage   map[string]float64 // owner -> decayed node-seconds
@@ -122,11 +124,22 @@ type Scheduler struct {
 	order []int
 }
 
+// schedInstruments are the scheduler's live metrics, resolved once at
+// construction (nil no-op handles when telemetry is off).
+type schedInstruments struct {
+	cycle      *telemetry.Histogram // full-iteration virtual duration
+	occupancy  *telemetry.Occupancy // time spent inside cycles
+	queueDepth *telemetry.Gauge     // schedulable queue at cycle start
+	placed     *telemetry.Counter
+	backfill   *telemetry.Counter
+}
+
 // New creates a scheduler speaking to the given server endpoint.
 func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
 	if params.Endpoint == "" {
 		params.Endpoint = DefaultEndpoint
 	}
+	reg := net.Sim().Telemetry()
 	return &Scheduler{
 		net:      net,
 		sim:      net.Sim(),
@@ -134,6 +147,13 @@ func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
 		serverEP: serverEP,
 		params:   params,
 		usage:    make(map[string]float64),
+		inst: schedInstruments{
+			cycle:      reg.Histogram("maui.cycle"),
+			occupancy:  reg.Occupancy("maui.occupancy"),
+			queueDepth: reg.Gauge("maui.queue_depth"),
+			placed:     reg.Counter("maui.placed"),
+			backfill:   reg.Counter("maui.backfill_hits"),
+		},
 	}
 }
 
@@ -212,6 +232,8 @@ func (sc *Scheduler) runCycle() bool {
 	ok := sc.cycle()
 	if ok {
 		d := sc.sim.Now() - start
+		sc.inst.cycle.Record(d)
+		sc.inst.occupancy.OnFor(d)
 		sc.mu.Lock()
 		sc.stats.CycleTimeTotal += d
 		if d > sc.stats.CycleTimeMax {
@@ -261,6 +283,7 @@ func (sc *Scheduler) cycle() bool {
 		trc.Gauge("maui.dyn_backlog", float64(len(info.Dyn)))
 		trc.Gauge("maui.free_acs", float64(len(p.freeACs)))
 	}
+	sc.inst.queueDepth.Set(float64(len(info.Queued)))
 
 	if sc.params.DynTopPriority {
 		dyn := cyc.Child("dyn")
@@ -380,6 +403,7 @@ func (sc *Scheduler) scheduleStatic(info *pbs.SchedInfoResp, p *pools, phase *tr
 			continue
 		}
 		if shadow >= 0 {
+			sc.inst.backfill.Inc()
 			sc.mu.Lock()
 			sc.stats.Backfilled++
 			sc.mu.Unlock()
@@ -458,6 +482,7 @@ func (sc *Scheduler) place(j pbs.JobInfo, hosts []string, acc map[string][]strin
 	if trc := sc.sim.Tracer(); trc != nil {
 		trc.Add("maui.placed", 1)
 	}
+	sc.inst.placed.Inc()
 	sc.mu.Lock()
 	sc.stats.JobsPlaced++
 	charge := float64(j.Spec.Nodes) * j.Spec.Walltime.Seconds()

@@ -13,14 +13,17 @@ import (
 	"time"
 )
 
-// Sample accumulates duration observations.
+// Sample accumulates duration observations. Values are stored as the
+// integer nanoseconds they arrive as, so every order statistic
+// (Min/Max/Percentile at the ranks) returns an observation exactly —
+// no float64-seconds round trip, no epsilon in tests.
 type Sample struct {
-	values []float64 // seconds
+	values []int64 // nanoseconds
 }
 
 // Add appends one observation.
 func (s *Sample) Add(d time.Duration) {
-	s.values = append(s.values, d.Seconds())
+	s.values = append(s.values, int64(d))
 }
 
 // N reports the number of observations.
@@ -44,9 +47,9 @@ func (s *Sample) Mean() time.Duration {
 	}
 	sum := 0.0
 	for _, v := range s.values {
-		sum += v
+		sum += float64(v)
 	}
-	return durOf(sum / float64(len(s.values)))
+	return time.Duration(sum / float64(len(s.values)))
 }
 
 // Std returns the population standard deviation.
@@ -55,41 +58,39 @@ func (s *Sample) Std() time.Duration {
 	if n == 0 {
 		return 0
 	}
-	mean := s.Mean().Seconds()
+	mean := float64(s.Mean())
 	sum := 0.0
 	for _, v := range s.values {
-		d := v - mean
+		d := float64(v) - mean
 		sum += d * d
 	}
-	return durOf(math.Sqrt(sum / float64(n)))
+	return time.Duration(math.Sqrt(sum / float64(n)))
 }
 
-// Min returns the smallest observation.
+// sorted returns the observations in ascending order without
+// mutating the sample. Min, Max, and Percentile all read their order
+// statistics from this one copy-and-sort path.
+func (s *Sample) sorted() []int64 {
+	c := append([]int64(nil), s.values...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+// Min returns the smallest observation, exactly as it was added.
 func (s *Sample) Min() time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v < m {
-			m = v
-		}
-	}
-	return durOf(m)
+	return time.Duration(s.sorted()[0])
 }
 
-// Max returns the largest observation.
+// Max returns the largest observation, exactly as it was added.
 func (s *Sample) Max() time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return durOf(m)
+	c := s.sorted()
+	return time.Duration(c[len(c)-1])
 }
 
 // Percentile returns the p-th percentile (p in [0,100], so P95 is
@@ -110,13 +111,12 @@ func (s *Sample) Percentile(p float64) time.Duration {
 	if p > 100 {
 		p = 100
 	}
-	sorted := append([]float64(nil), s.values...)
-	sort.Float64s(sorted)
+	sorted := s.sorted()
 	if p == 0 || n == 1 {
-		return durOf(sorted[0])
+		return time.Duration(sorted[0])
 	}
 	if p == 100 {
-		return durOf(sorted[n-1])
+		return time.Duration(sorted[n-1])
 	}
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
@@ -124,14 +124,10 @@ func (s *Sample) Percentile(p float64) time.Duration {
 	// Guard the index arithmetic against floating-point drift at the
 	// top of the range (p just below 100 can round rank up to n-1).
 	if lo >= n-1 {
-		return durOf(sorted[n-1])
+		return time.Duration(sorted[n-1])
 	}
 	frac := rank - float64(lo)
-	return durOf(sorted[lo] + frac*(sorted[hi]-sorted[lo]))
-}
-
-func durOf(sec float64) time.Duration {
-	return time.Duration(sec * float64(time.Second))
+	return time.Duration(float64(sorted[lo]) + frac*float64(sorted[hi]-sorted[lo]))
 }
 
 // Ms formats a duration as milliseconds with one decimal, the unit

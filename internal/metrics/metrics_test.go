@@ -54,6 +54,60 @@ func TestSamplePropertyMinLEMeanLEMax(t *testing.T) {
 	}
 }
 
+// Observations are stored as integer nanoseconds, so every order
+// statistic returns an added duration bit-for-bit — including values
+// like 1<<60 - 1 that do not survive a float64-seconds round trip.
+func TestSampleExactRoundTrip(t *testing.T) {
+	awkward := []time.Duration{
+		1,
+		time.Nanosecond*123456789 + 1,
+		time.Duration(1)<<60 - 1, // 53+ significant bits: float64 seconds would round
+		3*time.Hour + 7*time.Nanosecond,
+		0,
+	}
+	var s Sample
+	for _, d := range awkward {
+		s.Add(d)
+	}
+	if got, want := s.Min(), time.Duration(0); got != want {
+		t.Errorf("Min = %d, want %d", got, want)
+	}
+	if got, want := s.Max(), time.Duration(1)<<60-1; got != want {
+		t.Errorf("Max = %d, want %d", got, want)
+	}
+	// P0/P100 and exact-rank percentiles return stored values, not
+	// reconstructions.
+	if got := s.Percentile(100); got != time.Duration(1)<<60-1 {
+		t.Errorf("P100 = %d, want exact max", got)
+	}
+	if got := s.Percentile(50); got != 123456790*time.Nanosecond {
+		t.Errorf("P50 = %d, want the exact middle observation", got)
+	}
+}
+
+// quick.Check: every added duration is recoverable exactly via the
+// percentile at its rank.
+func TestSampleRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(raw []int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		seen := make(map[time.Duration]bool, len(raw))
+		for _, v := range raw {
+			if v < 0 {
+				v = -v
+			}
+			s.Add(time.Duration(v))
+			seen[time.Duration(v)] = true
+		}
+		// Min and Max must be members of the sample.
+		return seen[s.Min()] && seen[s.Max()]
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFormatting(t *testing.T) {
 	if got := Ms(1500 * time.Microsecond); got != "1.5" {
 		t.Errorf("Ms = %q", got)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -39,6 +40,7 @@ type Server struct {
 	sim    *sim.Simulation
 	ep     *netsim.Endpoint
 	params ServerParams
+	inst   serverInstruments
 
 	mu         sync.Mutex
 	schedEP    string
@@ -91,10 +93,35 @@ type waiter struct {
 	replyTo string
 }
 
+// serverInstruments are the server's live metrics, resolved once at
+// construction (nil handles when telemetry is off — every method is a
+// nil-safe no-op).
+type serverInstruments struct {
+	rpcService  *telemetry.Histogram // queue wait + processing per RPC
+	dynLatency  *telemetry.Histogram // dynamic-request arrival -> reply
+	queueDepth  *telemetry.Gauge     // schedulable queued jobs, per cycle
+	dynPending  *telemetry.Gauge     // dynamic requests awaiting the scheduler
+	submits     *telemetry.Counter
+	jobsDone    *telemetry.Counter
+	dynGranted  *telemetry.Counter
+	dynRejected *telemetry.Counter
+}
+
 // NewServer creates the server daemon; call AddNode for each cluster
 // node and Start to spawn its actor.
 func NewServer(net *netsim.Network, params ServerParams) *Server {
+	reg := net.Sim().Telemetry()
 	return &Server{
+		inst: serverInstruments{
+			rpcService:  reg.Histogram("pbs.rpc_service"),
+			dynLatency:  reg.Histogram("pbs.dyn_latency"),
+			queueDepth:  reg.Gauge("pbs.queue_depth"),
+			dynPending:  reg.Gauge("pbs.dyn_pending"),
+			submits:     reg.Counter("pbs.submits"),
+			jobsDone:    reg.Counter("pbs.jobs_done"),
+			dynGranted:  reg.Counter("pbs.dyn_granted"),
+			dynRejected: reg.Counter("pbs.dyn_rejected"),
+		},
 		net:      net,
 		sim:      net.Sim(),
 		ep:       net.Endpoint(ServerEndpoint),
@@ -148,8 +175,13 @@ func (s *Server) Start() {
 				m.Release()
 				return
 			}
+			delivered := m.Delivered
 			s.sim.Sleep(s.params.Processing)
 			s.handle(m)
+			// Service time as the requester experiences the server:
+			// head-of-line wait (implicit in Delivered -> now) plus
+			// processing and handling.
+			s.inst.rpcService.Record(s.sim.Now() - delivered)
 			m.Release()
 		}
 	})
@@ -279,6 +311,7 @@ func (s *Server) handleSubmit(req SubmitReq) {
 	s.active = append(s.active, id)
 	s.mu.Unlock()
 	sp.Annotate("job", id)
+	s.inst.submits.Inc()
 	s.account(AcctQueued, id, "owner=%s %s", req.Spec.Owner, FormatResourceRequest(req.Spec))
 	s.send(req.ReplyTo, SubmitResp{ReqID: req.ReqID, JobID: id})
 	s.kickScheduler("submit")
@@ -601,6 +634,8 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 	}
 	resp.Nodes = s.nodeViewIntoLocked(resp.Nodes[:0])
 	s.mu.Unlock()
+	s.inst.queueDepth.Set(float64(len(resp.Queued)))
+	s.inst.dynPending.Set(float64(len(resp.Dyn)))
 	s.send(req.ReplyTo, resp)
 }
 
@@ -798,7 +833,14 @@ func (s *Server) handleDynAddAck(ack DynAddAck) {
 func (s *Server) finishDynLocked(rec *DynRecord) {
 	// One span per dynamic request covering the whole protocol
 	// interval (arrival at the server until the reply), the quantity
-	// Figures 7(b)-9 measure.
+	// Figures 7(b)-9 measure. The telemetry histogram records the same
+	// interval, so live p99s line up with the post-hoc figures.
+	s.inst.dynLatency.Record(rec.RepliedAt - rec.ArrivedAt)
+	if rec.State == DynRejected {
+		s.inst.dynRejected.Inc()
+	} else {
+		s.inst.dynGranted.Inc()
+	}
 	if trc := s.sim.Tracer(); trc != nil {
 		outcome := "granted"
 		if rec.State == DynRejected {
@@ -833,6 +875,7 @@ func (s *Server) handleJobDone(jobID string) {
 	}
 	j.info.State = JobCompleted
 	j.info.CompletedAt = s.sim.Now()
+	s.inst.jobsDone.Inc()
 	hosts := jobHosts(j.info)
 	s.freeJobLocked(jobID)
 	// Reject any dynamic requests still pending for this job.

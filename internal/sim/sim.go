@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -75,6 +76,20 @@ type Simulation struct {
 	// disables tracing. Atomic so the per-message and per-request hot
 	// paths read it without taking s.mu.
 	tracer atomic.Pointer[trace.Tracer]
+
+	// telem is the active telemetry registry (nil disables it), and
+	// kernelInst the kernel's own instruments, both resolved once in
+	// SetTelemetry. Atomics for the same reason as tracer.
+	telem      atomic.Pointer[telemetry.Registry]
+	kernelInst atomic.Pointer[kernelInstruments]
+}
+
+// kernelInstruments are the kernel's own live metrics: how many
+// events the controller has dispatched and how deep the pending-event
+// queue is at each advance.
+type kernelInstruments struct {
+	dispatches *telemetry.Counter
+	queueDepth *telemetry.Gauge
 }
 
 // New returns an empty simulation at virtual time zero.
@@ -108,6 +123,29 @@ func (s *Simulation) SetTracer(t *trace.Tracer) {
 // unconditionally: s.Tracer().Start(...) is a no-op without a tracer.
 func (s *Simulation) Tracer() *trace.Tracer {
 	return s.tracer.Load()
+}
+
+// SetTelemetry installs (or, with nil, removes) the live-metrics
+// registry. Components resolve their instruments from it at
+// construction time; the kernel itself contributes the "sim.*"
+// instruments (event dispatch rate, event-queue depth).
+func (s *Simulation) SetTelemetry(reg *telemetry.Registry) {
+	s.telem.Store(reg)
+	if reg == nil {
+		s.kernelInst.Store(nil)
+		return
+	}
+	s.kernelInst.Store(&kernelInstruments{
+		dispatches: reg.Counter("sim.dispatches"),
+		queueDepth: reg.Gauge("sim.queue_depth"),
+	})
+}
+
+// Telemetry returns the active registry, or nil when telemetry is
+// disabled. A nil registry hands out nil no-op instruments, so
+// components resolve handles unconditionally.
+func (s *Simulation) Telemetry() *telemetry.Registry {
+	return s.telem.Load()
 }
 
 // Now reports the current virtual time as an offset from the start of
@@ -261,6 +299,10 @@ func (s *Simulation) Run(main func()) error {
 		s.batch = batch
 		s.now = t
 		s.nowA.Store(int64(t))
+		if ki := s.kernelInst.Load(); ki != nil {
+			ki.dispatches.Add(int64(len(batch)))
+			ki.queueDepth.Set(float64(s.events.len()))
+		}
 		s.mu.Unlock()
 
 		// Dispatch the batch one event at a time, waiting for the
@@ -369,6 +411,8 @@ func (s *Simulation) reset() {
 	clear(s.parked)
 	s.panicked = nil
 	s.tracer.Store(nil)
+	s.telem.Store(nil)
+	s.kernelInst.Store(nil)
 }
 
 // Halted reports whether Run has returned.

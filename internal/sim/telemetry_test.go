@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestKernelTelemetry(t *testing.T) {
+	s := New()
+	reg := telemetry.New()
+	s.SetTelemetry(reg)
+	if s.Telemetry() != reg {
+		t.Fatal("Telemetry() must return the installed registry")
+	}
+	if err := s.Run(func() {
+		for i := 0; i < 10; i++ {
+			s.Sleep(time.Millisecond)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sim.dispatches").Value(); got < 10 {
+		t.Errorf("sim.dispatches = %d, want >= 10", got)
+	}
+	// The queue drains by the final advance.
+	if got := reg.Gauge("sim.queue_depth").Value(); got != 0 {
+		t.Errorf("sim.queue_depth = %v at halt, want 0", got)
+	}
+}
+
+func TestSetTelemetryNilRemoves(t *testing.T) {
+	s := New()
+	s.SetTelemetry(telemetry.New())
+	s.SetTelemetry(nil)
+	if s.Telemetry() != nil {
+		t.Fatal("SetTelemetry(nil) must remove the registry")
+	}
+	if err := s.Run(func() { s.Sleep(time.Millisecond) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetClearsTelemetry(t *testing.T) {
+	s := New()
+	s.SetTelemetry(telemetry.New())
+	if err := s.Run(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.reset()
+	if s.Telemetry() != nil {
+		t.Fatal("reset must drop the telemetry registry with the tracer")
+	}
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteProm writes the registry's cumulative state in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as-is,
+// occupancy as a busy-seconds counter plus a ratio gauge over
+// elapsed, and histograms as summaries with deterministic
+// q=0.5/0.99/0.999 quantiles in seconds. Instrument names are
+// sanitized (every non-alphanumeric byte becomes '_'); output is
+// sorted, so identical runs export byte-identical pages.
+func WriteProm(w io.Writer, reg *Registry, elapsed time.Duration) error {
+	bw := bufio.NewWriter(w)
+	for _, ref := range reg.instruments() {
+		name := promName(ref.name)
+		switch ref.kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, ref.ctr.Value())
+		case KindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(ref.gag.Value()))
+		case KindOccupancy:
+			fmt.Fprintf(bw, "# TYPE %s_busy_seconds_total counter\n%s_busy_seconds_total %s\n",
+				name, name, promFloat(ref.occ.Busy().Seconds()))
+			fmt.Fprintf(bw, "# TYPE %s_ratio gauge\n%s_ratio %s\n",
+				name, name, promFloat(ref.occ.Ratio(elapsed)))
+		case KindHistogram:
+			h := ref.hist
+			fmt.Fprintf(bw, "# TYPE %s summary\n", name)
+			for _, q := range [...]float64{0.5, 0.99, 0.999} {
+				fmt.Fprintf(bw, "%s{quantile=%q} %s\n", name, promFloat(q), promFloat(h.Quantile(q).Seconds()))
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum().Seconds()), name, h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// promName maps an instrument name onto the Prometheus identifier
+// charset: [a-zA-Z0-9_], with a leading underscore if the name would
+// otherwise start with a digit.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		if !ok {
+			c = '_'
+		}
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, no exponent surprises for the
+// common small values.
+func promFloat(v float64) string {
+	return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+// WriteJSONL writes a scrape series as JSON Lines: one window object
+// per line, rows nested. Durations serialize as integer nanoseconds
+// (Go's time.Duration JSON form), which keeps the files exact and
+// diffable; cmd/dacstat renders them human-readable.
+func WriteJSONL(w io.Writer, windows []Window) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, win := range windows {
+		if err := enc.Encode(win); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a WriteJSONL stream back into a window series.
+// Blank lines are skipped; any malformed line is an error naming its
+// line number.
+func ReadJSONL(r io.Reader) ([]Window, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Window
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var w Window
+		if err := json.Unmarshal([]byte(text), &w); err != nil {
+			return nil, fmt.Errorf("scrape line %d: %w", line, err)
+		}
+		out = append(out, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

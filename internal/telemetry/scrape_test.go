@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// manualClock drives a Scraper without a simulation: Advance moves
+// virtual time and fires due timers in schedule order.
+type manualClock struct {
+	now    time.Duration
+	timers []manualTimer
+}
+
+type manualTimer struct {
+	at time.Duration
+	fn func()
+}
+
+func (c *manualClock) Now() time.Duration { return c.now }
+
+func (c *manualClock) After(d time.Duration, fn func()) {
+	c.timers = append(c.timers, manualTimer{at: c.now + d, fn: fn})
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	target := c.now + d
+	for {
+		idx := -1
+		for i, t := range c.timers {
+			if t.at <= target && (idx < 0 || t.at < c.timers[idx].at) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		t := c.timers[idx]
+		c.timers = append(c.timers[:idx], c.timers[idx+1:]...)
+		c.now = t.at
+		t.fn()
+	}
+	c.now = target
+}
+
+func TestScraperWindows(t *testing.T) {
+	reg := New()
+	clk := &manualClock{}
+	ctr := reg.Counter("pbs.submits")
+	g := reg.Gauge("pbs.queue_depth")
+	h := reg.Histogram("pbs.dyn_latency")
+	occ := reg.Occupancy("maui.occupancy")
+
+	sc := NewScraper(reg, clk, time.Second)
+	sc.Start()
+
+	// Window 0: two submits, depth 3, two latencies, 250ms busy.
+	ctr.Add(2)
+	g.Set(3)
+	h.Record(10 * time.Millisecond)
+	h.Record(30 * time.Millisecond)
+	occ.OnFor(250 * time.Millisecond)
+	clk.Advance(time.Second)
+
+	// Window 1: one more submit, depth down to 1, one latency.
+	ctr.Inc()
+	g.Set(1)
+	h.Record(20 * time.Millisecond)
+	clk.Advance(time.Second)
+
+	sc.Stop()
+	wins := sc.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2", len(wins))
+	}
+	w0, w1 := wins[0], wins[1]
+	if w0.Start != 0 || w0.End != time.Second || w1.Start != time.Second || w1.End != 2*time.Second {
+		t.Fatalf("window bounds wrong: %+v / %+v", w0, w1)
+	}
+
+	row := func(w Window, name string) Row {
+		r, ok := findRow(w, name)
+		if !ok {
+			t.Fatalf("window %d missing row %s", w.Index, name)
+		}
+		return r
+	}
+	if r := row(w0, "pbs.submits"); r.Total != 2 || r.Delta != 2 {
+		t.Errorf("submits w0 = %+v, want total 2 delta 2", r)
+	}
+	if r := row(w1, "pbs.submits"); r.Total != 3 || r.Delta != 1 {
+		t.Errorf("submits w1 = %+v, want total 3 delta 1", r)
+	}
+	if r := row(w1, "pbs.queue_depth"); r.Total != 1 || r.Delta != -2 {
+		t.Errorf("queue_depth w1 = %+v, want total 1 delta -2", r)
+	}
+	if r := row(w0, "maui.occupancy"); r.Delta != 0.25 {
+		t.Errorf("occupancy w0 delta = %v, want 0.25", r.Delta)
+	}
+	r0 := row(w0, "pbs.dyn_latency")
+	if r0.Delta != 2 || r0.Mean != 20*time.Millisecond {
+		t.Errorf("hist w0 = %+v, want delta 2 mean 20ms", r0)
+	}
+	if r0.P50 < 10*time.Millisecond || r0.Max < 30*time.Millisecond {
+		t.Errorf("hist w0 quantiles under-report: %+v", r0)
+	}
+	r1 := row(w1, "pbs.dyn_latency")
+	if r1.Delta != 1 || r1.Total != 3 {
+		t.Errorf("hist w1 = %+v, want delta 1 total 3", r1)
+	}
+	if r1.P50 < 20*time.Millisecond || r1.P50 > 21*time.Millisecond {
+		t.Errorf("hist w1 p50 = %v, want ~20ms (window-local, not cumulative)", r1.P50)
+	}
+
+	// Rows are sorted by name for deterministic output.
+	for i := 1; i < len(w0.Rows); i++ {
+		if w0.Rows[i-1].Name > w0.Rows[i].Name {
+			t.Fatalf("rows not sorted: %q after %q", w0.Rows[i].Name, w0.Rows[i-1].Name)
+		}
+	}
+}
+
+func TestScraperStopTakesPartialWindow(t *testing.T) {
+	reg := New()
+	clk := &manualClock{}
+	ctr := reg.Counter("sim.dispatches")
+	sc := NewScraper(reg, clk, time.Second)
+	sc.Start()
+	clk.Advance(time.Second) // window 0
+	ctr.Add(5)
+	clk.now += 300 * time.Millisecond // advance without firing the pending tick
+	sc.Stop()
+	wins := sc.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2 (periodic + final partial)", len(wins))
+	}
+	last := wins[1]
+	if last.End != 1300*time.Millisecond || last.Rows[0].Delta != 5 {
+		t.Fatalf("partial window = %+v, want end 1.3s delta 5", last)
+	}
+	// Stop is idempotent and the dead timer must be inert.
+	sc.Stop()
+	clk.Advance(5 * time.Second)
+	if len(sc.Windows()) != 2 {
+		t.Fatal("stopped scraper kept scraping")
+	}
+}
+
+func TestScraperMaxWindowsBackstop(t *testing.T) {
+	reg := New()
+	reg.Counter("sim.dispatches")
+	clk := &manualClock{}
+	sc := NewScraper(reg, clk, time.Second)
+	sc.MaxWindows = 3
+	sc.Start()
+	clk.Advance(10 * time.Second)
+	if got := len(sc.Windows()); got != 3 {
+		t.Fatalf("got %d windows, want MaxWindows=3", got)
+	}
+	if len(clk.timers) != 0 {
+		t.Fatal("scraper left a pending timer after hitting MaxWindows")
+	}
+}
+
+func TestRegistryGetOrCreateAndNil(t *testing.T) {
+	reg := New()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("Counter must return the same instrument per name")
+	}
+	if reg.Histogram("h") != reg.Histogram("h") {
+		t.Fatal("Histogram must return the same instrument per name")
+	}
+
+	var nilReg *Registry
+	c := nilReg.Counter("x")
+	g := nilReg.Gauge("x")
+	h := nilReg.Histogram("x")
+	o := nilReg.Occupancy("x")
+	c.Add(1)
+	c.Inc()
+	g.Set(2)
+	g.Add(1)
+	h.Record(time.Second)
+	o.OnFor(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || o.Busy() != 0 || o.Ratio(time.Second) != 0 {
+		t.Fatal("nil instruments must be inert")
+	}
+	if nilReg.instruments() != nil {
+		t.Fatal("nil registry must enumerate empty")
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	g := &Gauge{}
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("Gauge.Add: got %v, want 2", g.Value())
+	}
+	g.Set(-7.5)
+	if g.Value() != -7.5 {
+		t.Fatalf("Gauge.Set: got %v, want -7.5", g.Value())
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	c := &Counter{}
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("Counter must ignore negative adds: got %d", c.Value())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/pbs"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -98,6 +99,50 @@ func NewTracer() *Tracer { return trace.New() }
 var (
 	WriteCapture = trace.WriteCapture
 	ReadCapture  = trace.ReadCapture
+)
+
+// Live telemetry (see internal/telemetry): virtual-time-native
+// instruments, periodic scrapes, and SLO evaluation.
+type (
+	// TelemetryRegistry is a set of named typed instruments (counters,
+	// gauges, streaming histograms, occupancy trackers). Install one
+	// via Params.Telemetry; a nil registry disables all instruments at
+	// zero cost.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryScraper samples a registry on a fixed virtual-time
+	// interval into a windowed time-series.
+	TelemetryScraper = telemetry.Scraper
+	// TelemetryWindow is one scrape: every instrument's row over one
+	// virtual-time window.
+	TelemetryWindow = telemetry.Window
+	// TelemetryRow is one instrument's state in one window.
+	TelemetryRow = telemetry.Row
+	// StreamingHistogram is the mergeable fixed-bucket log-scale
+	// latency histogram behind every histogram instrument.
+	StreamingHistogram = telemetry.Histogram
+	// SLOObjective bounds one per-window statistic of one instrument.
+	SLOObjective = telemetry.Objective
+	// SLOCompliance is the evaluation of one objective over a series.
+	SLOCompliance = telemetry.Compliance
+)
+
+// Telemetry entry points.
+var (
+	// NewTelemetry creates an empty instrument registry.
+	NewTelemetry = telemetry.New
+	// NewHistogram creates a standalone streaming histogram.
+	NewHistogram = telemetry.NewHistogram
+	// NewScraper builds a periodic scraper over a registry (the clock
+	// is typically the *Simulation the cluster runs in).
+	NewScraper = telemetry.NewScraper
+	// EvaluateSLOs checks objectives against a scrape series.
+	EvaluateSLOs = telemetry.Evaluate
+	// WriteScrapeJSONL / ReadScrapeJSONL are the scrape-series
+	// interchange format between dacsim (-fig slo -scrape-out) and
+	// dacstat; WritePromText is the Prometheus text exposition.
+	WriteScrapeJSONL = telemetry.WriteJSONL
+	ReadScrapeJSONL  = telemetry.ReadJSONL
+	WritePromText    = telemetry.WriteProm
 )
 
 // Profiling (see internal/prof): the causal critical-path profiler
@@ -267,6 +312,9 @@ type (
 	// BreakdownPoint is one row of the profiler's breakdown figure
 	// (per-phase latency attribution vs cluster size).
 	BreakdownPoint = core.BreakdownPoint
+	// SLOPoint is one row of the live-telemetry figure (scrape series
+	// plus SLO compliance at one cluster size).
+	SLOPoint = core.SLOPoint
 )
 
 // Experiment functions and table renderers.
@@ -298,6 +346,15 @@ var (
 	Breakdown         = core.Breakdown
 	BreakdownTable    = core.BreakdownTable
 	DynBreakdownTable = core.DynBreakdownTable
+
+	// SLO replays the scale workload under an open-loop stream of
+	// paced dynamic requests, scraping live telemetry on a virtual
+	// interval and evaluating the figure's SLO set per window.
+	SLO                = core.SLO
+	SLOTable           = core.SLOTable
+	SLOComplianceTable = core.SLOComplianceTable
+	SLOSizes           = core.SLOSizes
+	SLOObjectives      = core.SLOObjectives
 
 	AblationDynPriority          = core.AblationDynPriority
 	AblationCollectiveGet        = core.AblationCollectiveGet

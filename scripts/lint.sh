@@ -27,13 +27,13 @@ status=0
 go vet -vettool="$(pwd)/bin/daclint" ./... >"$out" 2>&1 || status=$?
 cat "$out"
 
-# Count findings per analyzer. The six suite names are pinned by
+# Count findings per analyzer. The seven suite names are pinned by
 # TestSuite in internal/lint; "ignore" counts malformed //lint:ignore
 # directives reported by the framework itself.
 summary=$(
     echo "| analyzer | findings |"
     echo "| --- | ---: |"
-    for a in walltime seededrand maporder lockdiscipline vtctx spanbalance ignore; do
+    for a in walltime seededrand maporder lockdiscipline vtctx spanbalance metricname ignore; do
         n=$(grep -c ": $a: " "$out" || true)
         echo "| $a | $n |"
     done
