@@ -49,7 +49,7 @@ type Report struct {
 
 func vms(d time.Duration) float64 { return float64(d) / 1e6 }
 
-func record(trials int, scaleSizes []int) (*Report, error) {
+func record(trials int, scaleSizes, shardedSizes []int) (*Report, error) {
 	rep := &Report{
 		SchemaVersion: 1,
 		Date:          time.Now().UTC().Format("2006-01-02"),
@@ -140,6 +140,28 @@ func record(trials int, scaleSizes []int) (*Report, error) {
 			rep.Series[fmt.Sprintf("scale/cycle_max/cns=%d", pt.ComputeNodes)] = vms(pt.CycleMax)
 			rep.Series[fmt.Sprintf("scale/dyn_latency/cns=%d", pt.ComputeNodes)] = vms(pt.DynLatency)
 			rep.Series[fmt.Sprintf("scale/makespan/cns=%d", pt.ComputeNodes)] = vms(pt.Makespan)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The sharded-server rungs of the ladder: same workload through the
+	// partitioned pbs_server and Maui cycle, recorded as their own
+	// series so the ablation's virtual times are gated alongside the
+	// faithful ones.
+	for _, n := range shardedSizes {
+		if err := wall(fmt.Sprintf("scale_sharded/cns=%d", n), func() error {
+			pts, err := repro.ScaleMode(params, []int{n}, repro.ServerSharded)
+			if err != nil {
+				return err
+			}
+			pt := pts[0]
+			rep.Series[fmt.Sprintf("scale_sharded/cycle_mean/cns=%d", pt.ComputeNodes)] = vms(pt.CycleMean)
+			rep.Series[fmt.Sprintf("scale_sharded/cycle_max/cns=%d", pt.ComputeNodes)] = vms(pt.CycleMax)
+			rep.Series[fmt.Sprintf("scale_sharded/dyn_p50/cns=%d", pt.ComputeNodes)] = vms(pt.DynP50)
+			rep.Series[fmt.Sprintf("scale_sharded/dyn_p99/cns=%d", pt.ComputeNodes)] = vms(pt.DynP99)
+			rep.Series[fmt.Sprintf("scale_sharded/makespan/cns=%d", pt.ComputeNodes)] = vms(pt.Makespan)
 			return nil
 		}); err != nil {
 			return nil, err
@@ -309,7 +331,11 @@ func main() {
 	}
 
 	repro.SetParallelism(*parallel)
-	rep, err := record(*trials, []int{8, 64, 256})
+	// Both server modes climb to 4096 compute nodes: the faithful top
+	// rungs pin the serialization effect the sharded series buys back
+	// (the 4096-node serial server costs ~15s of host wall time — the
+	// bulk of a record run — which is itself the ablation's point).
+	rep, err := record(*trials, []int{8, 64, 256, 1024, 4096}, []int{1024, 4096})
 	if err != nil {
 		log.Fatalf("dacbench: %v", err)
 	}

@@ -61,13 +61,14 @@ func TestLoadRoundTrip(t *testing.T) {
 // A recorded report must carry every figure and scale series and be
 // self-consistent against itself under compare.
 func TestRecordSelfConsistent(t *testing.T) {
-	rep, err := record(1, []int{8})
+	rep, err := record(1, []int{8}, []int{8})
 	if err != nil {
 		t.Fatalf("record: %v", err)
 	}
 	for _, want := range []string{
 		"fig7a/total/acs=6", "fig7b/total/acs=6", "fig8/total/load=20",
 		"fig9/total/node=C", "scale/cycle_mean/cns=8", "scale/dyn_latency/cns=8",
+		"scale_sharded/cycle_mean/cns=8", "scale_sharded/dyn_p99/cns=8",
 	} {
 		if _, ok := rep.Series[want]; !ok {
 			t.Fatalf("series %q missing from recorded report", want)

@@ -29,6 +29,7 @@ func main() {
 	trials := flag.Int("trials", 10, "trials per data point (the paper averages 10)")
 	maxACs := flag.Int("max", 6, "maximum accelerator count for figures 7(a) and 7(b)")
 	scaleNodes := flag.Int("scale-max", 256, "largest compute-node count for -fig scale (accelerators and jobs grow 8x)")
+	serverMode := flag.String("server", "faithful", "server ablation for -fig scale/breakdown: faithful (the paper's serial pbs_server + global Maui cycle) or sharded (partitioned fast path)")
 	jitter := flag.Float64("jitter", 0, "fabric latency jitter fraction (e.g. 0.1); 0 keeps runs exactly deterministic")
 	parallel := flag.Int("parallel", 0, "independent trials run on this many OS threads (0 or <1 = all cores); output is identical at every level")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -87,9 +88,19 @@ func main() {
 		}
 		emit(repro.Fig9Table(pts))
 	}
-	runScale := func() {
+	mode, err := repro.ParseServerMode(*serverMode)
+	if err != nil {
+		log.Fatalf("dacsim: %v", err)
+	}
+	// The sharded ladder's axis continues past 256 nodes; the faithful
+	// axis stays the paper-era ladder so existing figures do not move.
+	ladder := func() []int {
+		axis := repro.ScaleSizes
+		if mode == repro.ServerSharded {
+			axis = repro.ScaleSizesExtended
+		}
 		var sizes []int
-		for _, n := range repro.ScaleSizes {
+		for _, n := range axis {
 			if n <= *scaleNodes {
 				sizes = append(sizes, n)
 			}
@@ -97,22 +108,21 @@ func main() {
 		if len(sizes) == 0 || sizes[len(sizes)-1] != *scaleNodes {
 			sizes = append(sizes, *scaleNodes)
 		}
-		pts, err := repro.Scale(params, sizes)
+		return sizes
+	}
+	runScale := func() {
+		pts, err := repro.ScaleMode(params, ladder(), mode)
 		if err != nil {
 			log.Fatalf("dacsim: scale: %v", err)
 		}
-		emit(repro.ScaleTable(pts))
+		if mode == repro.ServerSharded {
+			emit(repro.ScaleShardedTable(pts))
+		} else {
+			emit(repro.ScaleTable(pts))
+		}
 	}
 	runBreakdown := func() {
-		var sizes []int
-		for _, n := range repro.ScaleSizes {
-			if n <= *scaleNodes {
-				sizes = append(sizes, n)
-			}
-		}
-		if len(sizes) == 0 || sizes[len(sizes)-1] != *scaleNodes {
-			sizes = append(sizes, *scaleNodes)
-		}
+		sizes := ladder()
 		var capture func(int, []repro.TraceEvent)
 		if *captureOut != "" {
 			capture = func(n int, events []repro.TraceEvent) {
@@ -130,7 +140,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dacsim: wrote %d events to %s\n", len(events), path)
 			}
 		}
-		pts, err := repro.Breakdown(params, sizes, capture)
+		pts, err := repro.BreakdownMode(params, sizes, mode, capture)
 		if err != nil {
 			log.Fatalf("dacsim: breakdown: %v", err)
 		}
@@ -262,6 +272,9 @@ func main() {
 		emit(t)
 	}
 
+	if mode != repro.ServerFaithful && *fig != "scale" && *fig != "breakdown" {
+		log.Fatalf("dacsim: -server %s requires -fig scale or -fig breakdown", mode)
+	}
 	if *captureOut != "" && *fig != "breakdown" {
 		log.Fatalf("dacsim: -capture requires -fig breakdown (per-size private tracers)")
 	}

@@ -49,6 +49,14 @@ type BreakdownPoint struct {
 // input order, after all runs complete) — the hook dacsim uses to
 // write profiler capture files.
 func Breakdown(p cluster.Params, sizes []int, capture func(computeNodes int, events []trace.Event)) ([]BreakdownPoint, error) {
+	return BreakdownMode(p, sizes, ServerFaithful, capture)
+}
+
+// BreakdownMode is Breakdown with a server-mode selector: the sharded
+// mode profiles the same workload through the partitioned server and
+// scheduler, so a dacprof -diff of the two capture sets attributes
+// exactly which phases the sharding buys back.
+func BreakdownMode(p cluster.Params, sizes []int, mode ServerMode, capture func(computeNodes int, events []trace.Event)) ([]BreakdownPoint, error) {
 	if len(sizes) == 0 {
 		sizes = ScaleSizes
 	}
@@ -60,6 +68,9 @@ func Breakdown(p cluster.Params, sizes []int, capture func(computeNodes int, eve
 			return fmt.Errorf("core: Breakdown size %d", n)
 		}
 		tp := scaleParams(p, n)
+		if mode == ServerSharded {
+			applyShardedParams(&tp, n)
+		}
 		tr := trace.New()
 		tp.Tracer = tr
 		jobs := n * JobsPerCN

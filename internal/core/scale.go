@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pbs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -36,12 +37,83 @@ type ScalePoint struct {
 	CycleMax     time.Duration // longest virtual scheduler cycle
 	DynLatency   time.Duration // dynamic request under full load (batch + MPI)
 	Makespan     time.Duration // virtual time to drain the trace
+
+	// Sharded-mode extras (zero in faithful runs): the server/scheduler
+	// fan-out and the dynamic-request latency distribution observed by
+	// the prober stream, scraped from the point's telemetry registry.
+	Shards     int
+	Partitions int
+	Probers    int
+	DynP50     time.Duration
+	DynP99     time.Duration
+	ShardBusy  float64 // mean per-shard busy fraction over the makespan
+}
+
+// ServerMode selects the server/scheduler implementation for the
+// scale ladder ablation: the faithful mode reproduces the paper's
+// single serial pbs_server and global Maui cycle, the sharded mode
+// enables the partitioned fast path (Server.Shards, Maui.Partitions).
+type ServerMode string
+
+const (
+	ServerFaithful ServerMode = "faithful"
+	ServerSharded  ServerMode = "sharded"
+)
+
+// ParseServerMode maps a CLI -server flag value to a ServerMode.
+func ParseServerMode(s string) (ServerMode, error) {
+	switch s {
+	case "", string(ServerFaithful):
+		return ServerFaithful, nil
+	case string(ServerSharded):
+		return ServerSharded, nil
+	}
+	return "", fmt.Errorf("core: unknown server mode %q (want faithful or sharded)", s)
 }
 
 // ScaleSizes is the default compute-node axis; with ACsPerCN and
 // JobsPerCN the largest point is 256 nodes, 2048 accelerators, and
 // 2048 trace jobs.
 var ScaleSizes = []int{8, 32, 64, 128, 256}
+
+// ScaleSizesExtended continues the ladder to the cluster sizes the
+// paper's Section VI outlook targets; the top rungs are only
+// tractable in virtual time once the sharded fast path amortizes the
+// serial per-request and per-job costs.
+var ScaleSizesExtended = []int{8, 32, 64, 128, 256, 1024, 4096}
+
+// ShardsFor sizes the pbs_server shard pool for an n-node cluster:
+// one shard per 64 compute nodes, clamped to [4, 64].
+func ShardsFor(n int) int {
+	s := n / 64
+	if s < 4 {
+		s = 4
+	}
+	if s > 64 {
+		s = 64
+	}
+	return s
+}
+
+// PartitionsFor sizes the Maui cycle partitioning for an n-node
+// cluster: one partition per 128 compute nodes, clamped to [2, 32].
+func PartitionsFor(n int) int {
+	p := n / 128
+	if p < 2 {
+		p = 2
+	}
+	if p > 32 {
+		p = 32
+	}
+	return p
+}
+
+// applyShardedParams switches a parameter set from the faithful
+// serial server to the sharded ablation at size n.
+func applyShardedParams(tp *cluster.Params, n int) {
+	tp.Server.Shards = ShardsFor(n)
+	tp.Maui.Partitions = PartitionsFor(n)
+}
 
 // ACsPerCN and JobsPerCN set how accelerators and workload grow with
 // the compute-node count.
@@ -103,6 +175,16 @@ func scaleParams(p cluster.Params, n int) cluster.Params {
 // the points fan out over the trial worker pool; results are reported
 // in input order.
 func Scale(p cluster.Params, sizes []int) ([]ScalePoint, error) {
+	return ScaleMode(p, sizes, ServerFaithful)
+}
+
+// ScaleMode runs the scale ladder under the chosen server mode. The
+// faithful mode executes exactly the code path Scale always ran, so
+// its figures stay byte-identical; the sharded mode additionally
+// drives an open-loop prober stream (the single-probe latency of the
+// faithful figure carries no tail signal) and reports dynamic-request
+// p50/p99 and per-shard occupancy from the point's private registry.
+func ScaleMode(p cluster.Params, sizes []int, mode ServerMode) ([]ScalePoint, error) {
 	if len(sizes) == 0 {
 		sizes = ScaleSizes
 	}
@@ -112,87 +194,240 @@ func Scale(p cluster.Params, sizes []int) ([]ScalePoint, error) {
 		if n < 1 {
 			return fmt.Errorf("core: Scale size %d", n)
 		}
-		tp := scaleParams(p, n)
-		jobs := n * JobsPerCN
-		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
-		if err != nil {
-			return fmt.Errorf("core: Scale n=%d: %w", n, err)
+		var err error
+		if mode == ServerSharded {
+			out[idx], err = scalePointSharded(p, n)
+		} else {
+			out[idx], err = scalePointFaithful(p, n)
 		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
-		s := sim.Acquire()
-		defer s.Release()
-		c := cluster.New(s, tp)
-		var pt ScalePoint
-		var ptMu sync.Mutex
-		probeReady := newSignal(s, "scale-ready")
-		goahead := newSignal(s, "scale-go")
-		runErr := s.Run(func() {
-			defer c.Close()
-			c.Start()
-			client := c.Client("front")
+// scalePointFaithful is the original per-point body of Scale,
+// unchanged: one probe job measures a single dynamic request under
+// full load.
+func scalePointFaithful(p cluster.Params, n int) (ScalePoint, error) {
+	tp := scaleParams(p, n)
+	jobs := n * JobsPerCN
+	entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("core: Scale n=%d: %w", n, err)
+	}
 
-			// The probe job starts on the idle cluster and holds one
-			// core; once the trace is fully submitted it issues one
-			// dynamic request into the loaded scheduler.
-			probeID, err := client.Submit(pbs.JobSpec{
-				Name: "scale-probe", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 0,
-				Walltime: time.Hour,
+	s := sim.Acquire()
+	defer s.Release()
+	c := cluster.New(s, tp)
+	var pt ScalePoint
+	var ptMu sync.Mutex
+	probeReady := newSignal(s, "scale-ready")
+	goahead := newSignal(s, "scale-go")
+	runErr := s.Run(func() {
+		defer c.Close()
+		c.Start()
+		client := c.Client("front")
+
+		// The probe job starts on the idle cluster and holds one
+		// core; once the trace is fully submitted it issues one
+		// dynamic request into the loaded scheduler.
+		probeID, err := client.Submit(pbs.JobSpec{
+			Name: "scale-probe", Owner: "exp", Nodes: 1, PPN: 1, ACPN: 0,
+			Walltime: time.Hour,
+			Script: func(env *pbs.JobEnv) {
+				ac, _, err := dac.Init(env)
+				if err != nil {
+					return
+				}
+				defer ac.Finalize()
+				probeReady.fire()
+				goahead.wait()
+				clientID, _, err := ac.Get(1)
+				if err == nil {
+					ac.Free(clientID)
+				}
+				st := ac.Stats()
+				ptMu.Lock()
+				if len(st.Gets) > 0 && !st.Gets[0].Rejected {
+					pt.DynLatency = st.Gets[0].Batch + st.Gets[0].MPI
+				}
+				ptMu.Unlock()
+			},
+		})
+		if err != nil {
+			return
+		}
+		probeReady.wait()
+
+		ids, err := workload.Replay(s, client, entries)
+		if err != nil {
+			return
+		}
+		goahead.fire()
+		for _, id := range ids {
+			client.Wait(id)
+		}
+		client.Wait(probeID)
+		ptMu.Lock()
+		pt.Makespan = s.Now()
+		if c.Sched != nil {
+			st := c.Sched.Stats()
+			pt.CycleMean = st.CycleTimeMean()
+			pt.CycleMax = st.CycleTimeMax
+		}
+		ptMu.Unlock()
+	})
+	if runErr != nil {
+		return ScalePoint{}, fmt.Errorf("core: Scale n=%d: %w", n, runErr)
+	}
+	pt.ComputeNodes = n
+	pt.Accelerators = tp.Accelerators
+	pt.Jobs = len(entries)
+	return pt, nil
+}
+
+// scaleProbers sets the width of the sharded ladder's open-loop
+// dynamic-request stream: one prober per 64 compute nodes, clamped to
+// [2, 64] so the tail quantiles carry samples without the probers
+// becoming the workload.
+func scaleProbers(n int) int {
+	p := n / 64
+	if p < 2 {
+		p = 2
+	}
+	if p > 64 {
+		p = 64
+	}
+	return p
+}
+
+// Pacing of the sharded ladder's prober stream. Shorter than the slo
+// figure's stream: the ladder's top rungs replay 32k jobs, so each
+// prober issues a dozen paced requests across the drain.
+const (
+	scaleProbePace = 3 * time.Second
+	scaleProbeHold = 250 * time.Millisecond
+	scaleProbeReqs = 12
+)
+
+// scalePointSharded runs one ladder point with the partitioned server
+// and scheduler. A private telemetry registry instruments the run;
+// the row reports the prober stream's dyn-latency p50/p99 and the
+// mean per-shard busy fraction alongside the faithful columns.
+func scalePointSharded(p cluster.Params, n int) (ScalePoint, error) {
+	tp := scaleParams(p, n)
+	applyShardedParams(&tp, n)
+	reg := telemetry.New()
+	tp.Telemetry = reg
+	jobs := n * JobsPerCN
+	entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("core: Scale n=%d: %w", n, err)
+	}
+
+	s := sim.Acquire()
+	defer s.Release()
+	c := cluster.New(s, tp)
+	probers := scaleProbers(n)
+	var pt ScalePoint
+	var ptMu sync.Mutex
+	ready := make([]*signal, probers)
+	for i := range ready {
+		ready[i] = newSignal(s, fmt.Sprintf("scale-ready-%d", i))
+	}
+	goahead := newSignal(s, "scale-go")
+	runErr := s.Run(func() {
+		defer c.Close()
+		c.Start()
+		client := c.Client("front")
+
+		// The probers start on the idle cluster and hold one core each;
+		// once the trace is fully submitted they issue an open-loop
+		// stream of paced dynamic requests, staggered so their phases
+		// differ. The first request's batch+MPI latency fills the
+		// faithful DynLatency column; the registry's histogram carries
+		// the distribution.
+		proberIDs := make([]string, 0, probers)
+		for i := 0; i < probers; i++ {
+			i := i
+			id, err := client.Submit(pbs.JobSpec{
+				Name: fmt.Sprintf("scale-probe-%d", i), Owner: "exp",
+				Nodes: 1, PPN: 1, ACPN: 0, Walltime: time.Hour,
 				Script: func(env *pbs.JobEnv) {
 					ac, _, err := dac.Init(env)
 					if err != nil {
 						return
 					}
 					defer ac.Finalize()
-					probeReady.fire()
+					ready[i].fire()
 					goahead.wait()
-					clientID, _, err := ac.Get(1)
-					if err == nil {
-						ac.Free(clientID)
+					s.Sleep(scaleProbePace * time.Duration(i) / time.Duration(probers))
+					for r := 0; r < scaleProbeReqs; r++ {
+						clientID, _, err := ac.Get(1)
+						if err == nil {
+							s.Sleep(scaleProbeHold)
+							ac.Free(clientID)
+						}
+						s.Sleep(scaleProbePace)
 					}
-					st := ac.Stats()
-					ptMu.Lock()
-					if len(st.Gets) > 0 && !st.Gets[0].Rejected {
-						pt.DynLatency = st.Gets[0].Batch + st.Gets[0].MPI
+					if i == 0 {
+						st := ac.Stats()
+						ptMu.Lock()
+						if len(st.Gets) > 0 && !st.Gets[0].Rejected {
+							pt.DynLatency = st.Gets[0].Batch + st.Gets[0].MPI
+						}
+						ptMu.Unlock()
 					}
-					ptMu.Unlock()
 				},
 			})
 			if err != nil {
 				return
 			}
-			probeReady.wait()
-
-			ids, err := workload.Replay(s, client, entries)
-			if err != nil {
-				return
-			}
-			goahead.fire()
-			for _, id := range ids {
-				client.Wait(id)
-			}
-			client.Wait(probeID)
-			ptMu.Lock()
-			pt.Makespan = s.Now()
-			if c.Sched != nil {
-				st := c.Sched.Stats()
-				pt.CycleMean = st.CycleTimeMean()
-				pt.CycleMax = st.CycleTimeMax
-			}
-			ptMu.Unlock()
-		})
-		if runErr != nil {
-			return fmt.Errorf("core: Scale n=%d: %w", n, runErr)
+			proberIDs = append(proberIDs, id)
 		}
-		pt.ComputeNodes = n
-		pt.Accelerators = tp.Accelerators
-		pt.Jobs = len(entries)
-		out[idx] = pt
-		return nil
+		for _, sg := range ready {
+			sg.wait()
+		}
+
+		ids, err := workload.Replay(s, client, entries)
+		if err != nil {
+			return
+		}
+		goahead.fire()
+		for _, id := range ids {
+			client.Wait(id)
+		}
+		for _, id := range proberIDs {
+			client.Wait(id)
+		}
+		ptMu.Lock()
+		pt.Makespan = s.Now()
+		if c.Sched != nil {
+			st := c.Sched.Stats()
+			pt.CycleMean = st.CycleTimeMean()
+			pt.CycleMax = st.CycleTimeMax
+		}
+		ptMu.Unlock()
 	})
-	if err != nil {
-		return nil, err
+	if runErr != nil {
+		return ScalePoint{}, fmt.Errorf("core: Scale n=%d: %w", n, runErr)
 	}
-	return out, nil
+	pt.ComputeNodes = n
+	pt.Accelerators = tp.Accelerators
+	pt.Jobs = len(entries)
+	pt.Shards = tp.Server.Shards
+	pt.Partitions = tp.Maui.Partitions
+	pt.Probers = probers
+	dyn := reg.Histogram("pbs.dyn_latency")
+	pt.DynP50 = dyn.Quantile(0.50)
+	pt.DynP99 = dyn.Quantile(0.99)
+	if busy := reg.Occupancy("pbs.shard_occupancy").Busy(); pt.Makespan > 0 && pt.Shards > 0 {
+		pt.ShardBusy = busy.Seconds() / (pt.Makespan.Seconds() * float64(pt.Shards))
+	}
+	return pt, nil
 }
 
 // ScaleTable renders the scale series in the style of the paper's
@@ -207,6 +442,29 @@ func ScaleTable(points []ScalePoint) *metrics.Table {
 		t.AddRow(
 			fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Accelerators), fmt.Sprint(pt.Jobs),
 			metrics.Ms(pt.CycleMean), metrics.Ms(pt.CycleMax), metrics.Ms(pt.DynLatency),
+			metrics.Ms(pt.Makespan),
+		)
+	}
+	return t
+}
+
+// ScaleShardedTable renders the sharded ladder with its extra
+// telemetry columns: the shard/partition fan-out, the prober stream's
+// dynamic-latency quantiles, and the mean per-shard busy fraction.
+func ScaleShardedTable(points []ScalePoint) *metrics.Table {
+	t := &metrics.Table{
+		Title: "Scale (sharded server): cycle time and dyn-latency quantiles vs cluster size",
+		Headers: []string{"compute_nodes", "jobs", "shards", "partitions", "probers",
+			"cycle_mean_ms", "cycle_max_ms", "dyn_p50_ms", "dyn_p99_ms",
+			"shard_busy", "makespan_ms"},
+	}
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Jobs),
+			fmt.Sprint(pt.Shards), fmt.Sprint(pt.Partitions), fmt.Sprint(pt.Probers),
+			metrics.Ms(pt.CycleMean), metrics.Ms(pt.CycleMax),
+			metrics.Ms(pt.DynP50), metrics.Ms(pt.DynP99),
+			fmt.Sprintf("%.4f", pt.ShardBusy),
 			metrics.Ms(pt.Makespan),
 		)
 	}

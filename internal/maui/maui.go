@@ -41,6 +41,20 @@ type Params struct {
 	PerJobCost time.Duration
 	// DynPerReqCost is the scheduling cost per dynamic request.
 	DynPerReqCost time.Duration
+	// ArbiterPerJobCost is the global arbiter's per-proposal commit
+	// cost in partitioned cycles (PerJobCost/8 when zero). It is the
+	// serial remainder of a partitioned cycle: candidate scoring
+	// parallelizes across partitions, committing does not.
+	ArbiterPerJobCost time.Duration
+	// Partitions selects the cycle architecture. 0 or 1 keeps the
+	// faithful single global cycle: every queued job costs PerJobCost
+	// serially, which grows linearly with the backlog (the paper's
+	// Figure 8 serialization). Values above 1 enable the partitioned
+	// cycle (partition.go): nodes and queue are dealt across that many
+	// partitions whose candidate scoring overlaps in virtual time — a
+	// cycle pays the slowest partition, not the sum — and a small
+	// global arbiter commits the proposals.
+	Partitions int
 	// DynTopPriority places dynamic requests ahead of all static
 	// requests (the paper's policy). Disabling it is the ablation:
 	// dynamic requests then compete in plain FIFO order by arrival.
@@ -122,6 +136,27 @@ type Scheduler struct {
 	pools *pools
 	prio  []float64
 	order []int
+
+	// In-flight decision tracking: job IDs and dyn request IDs whose
+	// Alloc/DynAllocCmd was sent but may not yet be reflected in the
+	// server's snapshot. With the faithful server the FIFO loop
+	// guarantees commands land before the next SchedInfoReq, so these
+	// never match a snapshot entry; with the sharded server the
+	// snapshot (shard 0) can race a command still queued on another
+	// shard, and without suppression the scheduler would re-place the
+	// job and double-commit cycle-pool capacity. Entries expire after
+	// inflightWindow cycles so a genuinely dropped allocation retries.
+	inflight    map[string]uint64 // job ID -> cycleIndex at placement
+	dynInflight map[int]uint64    // dyn ReqID -> cycleIndex at grant
+	cycleIndex  uint64
+
+	// Partitioned-cycle scratch (see partition.go), persisted across
+	// cycles like the buffers above.
+	partPools []*pools
+	partNodes [][]pbs.NodeInfo
+	partJobs  [][]int
+	proposals []proposal
+	rescue    []int
 }
 
 // schedInstruments are the scheduler's live metrics, resolved once at
@@ -141,12 +176,14 @@ func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
 	}
 	reg := net.Sim().Telemetry()
 	return &Scheduler{
-		net:      net,
-		sim:      net.Sim(),
-		ep:       net.Endpoint(params.Endpoint),
-		serverEP: serverEP,
-		params:   params,
-		usage:    make(map[string]float64),
+		net:         net,
+		sim:         net.Sim(),
+		ep:          net.Endpoint(params.Endpoint),
+		serverEP:    serverEP,
+		params:      params,
+		usage:       make(map[string]float64),
+		inflight:    make(map[string]uint64),
+		dynInflight: make(map[int]uint64),
 		inst: schedInstruments{
 			cycle:      reg.Histogram("maui.cycle"),
 			occupancy:  reg.Occupancy("maui.occupancy"),
@@ -262,6 +299,22 @@ func (sc *Scheduler) cycle() bool {
 	// pools built below) is valid until this release.
 	defer info.Release()
 	sc.sim.Sleep(sc.params.CycleOverhead)
+	sc.cycleIndex++
+	// Expire stale in-flight entries occasionally so the maps track
+	// only live decisions (each entry is judged alone, so the walk
+	// order is immaterial).
+	if len(sc.inflight)+len(sc.dynInflight) > 2*len(info.Queued)+64 {
+		for id, at := range sc.inflight {
+			if sc.cycleIndex-at >= inflightWindow {
+				delete(sc.inflight, id)
+			}
+		}
+		for req, at := range sc.dynInflight {
+			if sc.cycleIndex-at >= inflightWindow {
+				delete(sc.dynInflight, req)
+			}
+		}
+	}
 	sc.mu.Lock()
 	sc.stats.Cycles++
 	if sc.params.FairshareDecay > 0 {
@@ -271,6 +324,9 @@ func (sc *Scheduler) cycle() bool {
 	}
 	sc.mu.Unlock()
 
+	if sc.params.Partitions > 1 {
+		return sc.partitionedCycle(info, cyc)
+	}
 	pb := cyc.Child("pools")
 	if sc.pools == nil {
 		sc.pools = &pools{index: make(map[string]int)}
@@ -317,12 +373,16 @@ func (sc *Scheduler) allocDyn(r pbs.SchedDynView, p *pools) []string {
 // scheduleDyn serves dynamic requests first, FIFO (paper policy).
 func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools, phase *trace.Span) {
 	for _, r := range reqs {
+		if sc.skipInflightDyn(r.ReqID) {
+			continue
+		}
 		var sp *trace.Span
 		if phase != nil {
 			sp = phase.Child("sched.dyn", "job", r.JobID, "req", strconv.Itoa(r.ReqID), "count", strconv.Itoa(r.Count))
 		}
 		sc.sim.Sleep(sc.params.DynPerReqCost)
 		hosts := sc.allocDyn(r, p)
+		sc.dynInflight[r.ReqID] = sc.cycleIndex
 		sc.mu.Lock()
 		if len(hosts) > 0 {
 			sc.stats.DynGranted++
@@ -334,6 +394,40 @@ func (sc *Scheduler) scheduleDyn(reqs []pbs.SchedDynView, p *pools, phase *trace
 		sp.End()
 		sc.sendCause(pbs.DynAllocCmd{ReqID: r.ReqID, Hosts: hosts, Cause: sp.ID()}, sp.ID())
 	}
+}
+
+// inflightWindow is how many cycles a placed job (or granted dyn
+// request) is suppressed from re-placement while its command may
+// still be queued on a server shard. Shard batches drain in a few
+// virtual milliseconds, well inside one cycle interval; the second
+// cycle of slack covers a kick-coalesced back-to-back iteration.
+const inflightWindow = 2
+
+// skipInflight reports whether a queued job's allocation is still in
+// flight, expiring stale entries so a dropped allocation retries.
+func (sc *Scheduler) skipInflight(id string) bool {
+	at, ok := sc.inflight[id]
+	if !ok {
+		return false
+	}
+	if sc.cycleIndex-at >= inflightWindow {
+		delete(sc.inflight, id)
+		return false
+	}
+	return true
+}
+
+// skipInflightDyn is skipInflight for dynamic request grants.
+func (sc *Scheduler) skipInflightDyn(req int) bool {
+	at, ok := sc.dynInflight[req]
+	if !ok {
+		return false
+	}
+	if sc.cycleIndex-at >= inflightWindow {
+		delete(sc.dynInflight, req)
+		return false
+	}
+	return true
 }
 
 // priority computes a job's dynamic priority.
@@ -378,6 +472,9 @@ func (sc *Scheduler) scheduleStatic(info *pbs.SchedInfoResp, p *pools, phase *tr
 	var shadow time.Duration = -1 // earliest start estimate of the blocked head
 	for _, idx := range order {
 		j := queued[idx]
+		if sc.skipInflight(j.ID) {
+			continue // allocation still in flight on a server shard
+		}
 		sc.sim.Sleep(sc.params.PerJobCost)
 		if shadow >= 0 {
 			// A head job is blocked; only backfill candidates that
@@ -430,12 +527,16 @@ func (sc *Scheduler) schedulePlainFIFO(info *pbs.SchedInfoResp, p *pools, phase 
 	sort.SliceStable(items, func(a, b int) bool { return items[a].at < items[b].at })
 	for _, it := range items {
 		if it.dyn != nil {
+			if sc.skipInflightDyn(it.dyn.ReqID) {
+				continue
+			}
 			var sp *trace.Span
 			if phase != nil {
 				sp = phase.Child("sched.dyn", "job", it.dyn.JobID, "req", strconv.Itoa(it.dyn.ReqID))
 			}
 			sc.sim.Sleep(sc.params.DynPerReqCost)
 			hosts := sc.allocDyn(*it.dyn, p)
+			sc.dynInflight[it.dyn.ReqID] = sc.cycleIndex
 			sc.mu.Lock()
 			if len(hosts) > 0 {
 				sc.stats.DynGranted++
@@ -445,6 +546,9 @@ func (sc *Scheduler) schedulePlainFIFO(info *pbs.SchedInfoResp, p *pools, phase 
 			sc.mu.Unlock()
 			sp.End()
 			sc.sendCause(pbs.DynAllocCmd{ReqID: it.dyn.ReqID, Hosts: hosts, Cause: sp.ID()}, sp.ID())
+			continue
+		}
+		if sc.skipInflight(it.job.ID) {
 			continue
 		}
 		sc.sim.Sleep(sc.params.PerJobCost)
@@ -483,6 +587,7 @@ func (sc *Scheduler) place(j pbs.JobInfo, hosts []string, acc map[string][]strin
 		trc.Add("maui.placed", 1)
 	}
 	sc.inst.placed.Inc()
+	sc.inflight[j.ID] = sc.cycleIndex
 	sc.mu.Lock()
 	sc.stats.JobsPlaced++
 	charge := float64(j.Spec.Nodes) * j.Spec.Walltime.Seconds()

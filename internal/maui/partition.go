@@ -1,0 +1,294 @@
+package maui
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/pbs"
+	"repro/internal/trace"
+)
+
+// The partitioned cycle: the scheduler's half of the sharded-server
+// ablation. The faithful cycle walks the whole queue serially at
+// PerJobCost per job, so cycle time grows linearly with the backlog
+// and, through the backlog's growth with cluster size, super-linearly
+// with node count. The partitioned cycle deals nodes and queued jobs
+// across Params.Partitions partitions, scores candidates within each
+// partition against that partition's pool, and advances virtual time
+// by the cost of the *slowest* partition — the scoring work overlaps.
+// A small global arbiter then commits the proposals serially at
+// ArbiterPerJobCost each, preserving a deterministic global priority
+// order, and gives each partition's blocked head one retry against
+// the other partitions' capacity so fragmentation across partitions
+// cannot stall a queue the faithful walk would drain.
+//
+// Semantics deliberately kept from the faithful path: dynamic
+// requests are served first, FIFO, at DynPerReqCost each (they are
+// few; parallelizing them would change the paper's top-priority
+// policy), and EASY backfill runs per partition under the partition's
+// own shadow reservation.
+
+// proposal is one partition's placement candidate awaiting the
+// arbiter's commit. The hosts/acc were already taken from the
+// partition's pool during scoring, so no two proposals can claim the
+// same capacity.
+type proposal struct {
+	idx        int // index into the snapshot's Queued slice
+	prio       float64
+	hosts      []string
+	acc        map[string][]string
+	backfilled bool
+}
+
+// arbiterCost is the per-proposal commit cost.
+func (sc *Scheduler) arbiterCost() time.Duration {
+	if sc.params.ArbiterPerJobCost > 0 {
+		return sc.params.ArbiterPerJobCost
+	}
+	return sc.params.PerJobCost / 8
+}
+
+// partitionedCycle replaces the pool build and both placement phases
+// of the faithful cycle. Fetch, overhead, and fairshare decay have
+// already run in cycle().
+func (sc *Scheduler) partitionedCycle(info *pbs.SchedInfoResp, cyc *trace.Span) bool {
+	nParts := sc.params.Partitions
+
+	pb := cyc.Child("pools")
+	sc.resetPartitions(info.Nodes, nParts)
+	pb.End()
+	freeACs := 0
+	for _, p := range sc.partPools[:nParts] {
+		freeACs += len(p.freeACs)
+	}
+	if trc := sc.sim.Tracer(); trc != nil {
+		trc.Gauge("maui.queue_depth", float64(len(info.Queued)))
+		trc.Gauge("maui.dyn_backlog", float64(len(info.Dyn)))
+		trc.Gauge("maui.free_acs", float64(freeACs))
+	}
+	sc.inst.queueDepth.Set(float64(len(info.Queued)))
+
+	dyn := cyc.Child("dyn")
+	sc.partitionedDyn(info.Dyn, dyn)
+	dyn.End()
+	st := cyc.Child("partitions")
+	sc.partitionedStatic(info, st)
+	st.End()
+	return true
+}
+
+// resetPartitions deals the node snapshot round-robin into nParts
+// pools. Round-robin (rather than contiguous ranges) keeps every
+// partition's capacity mix representative of the whole cluster, so a
+// multi-node job fits in any partition that is not itself full.
+func (sc *Scheduler) resetPartitions(nodes []pbs.NodeInfo, nParts int) {
+	for len(sc.partPools) < nParts {
+		sc.partPools = append(sc.partPools, &pools{index: make(map[string]int)})
+	}
+	for len(sc.partNodes) < nParts {
+		sc.partNodes = append(sc.partNodes, nil)
+	}
+	for pi := 0; pi < nParts; pi++ {
+		sc.partNodes[pi] = sc.partNodes[pi][:0]
+	}
+	for i := range nodes {
+		pi := i % nParts
+		sc.partNodes[pi] = append(sc.partNodes[pi], nodes[i])
+	}
+	for pi := 0; pi < nParts; pi++ {
+		sc.partPools[pi].reset(sc.partNodes[pi])
+	}
+}
+
+// partitionedDyn serves dynamic requests FIFO at top priority, as the
+// faithful path does. The arbiter draws accelerators from every
+// partition's pool, starting at the request id's home partition, so
+// partitioning never strands free accelerators; compute-kind requests
+// place within a single partition, all-or-nothing per partition.
+func (sc *Scheduler) partitionedDyn(reqs []pbs.SchedDynView, phase *trace.Span) {
+	nParts := sc.params.Partitions
+	for _, r := range reqs {
+		if sc.skipInflightDyn(r.ReqID) {
+			continue // grant still in flight on a server shard
+		}
+		var sp *trace.Span
+		if phase != nil {
+			sp = phase.Child("sched.dyn", "job", r.JobID, "req", strconv.Itoa(r.ReqID), "count", strconv.Itoa(r.Count))
+		}
+		sc.sim.Sleep(sc.params.DynPerReqCost)
+		var hosts []string
+		if r.Kind == pbs.KindCompute {
+			for off := 0; off < nParts && hosts == nil; off++ {
+				hosts = sc.partPools[(r.ReqID+off)%nParts].takeCNs(r.Count, r.PPN, r.JobID)
+			}
+		} else {
+			free := 0
+			for pi := 0; pi < nParts; pi++ {
+				free += len(sc.partPools[pi].freeACs)
+			}
+			want := r.Count
+			if want > free {
+				// Same policy as allocDyn: reject when short unless
+				// PartialAlloc grants what there is.
+				if sc.params.PartialAlloc && free > 0 {
+					want = free
+				} else {
+					want = 0
+				}
+			}
+			for off := 0; off < nParts && len(hosts) < want; off++ {
+				p := sc.partPools[(r.ReqID+off)%nParts]
+				take := want - len(hosts)
+				if take > len(p.freeACs) {
+					take = len(p.freeACs)
+				}
+				if take > 0 {
+					hosts = append(hosts, p.takeACs(take)...)
+				}
+			}
+		}
+		sc.mu.Lock()
+		if len(hosts) > 0 {
+			sc.stats.DynGranted++
+		} else {
+			sc.stats.DynRejected++
+		}
+		sc.mu.Unlock()
+		sc.dynInflight[r.ReqID] = sc.cycleIndex
+		sp.Annotate("granted", strconv.FormatBool(len(hosts) > 0))
+		sp.End()
+		sc.sendCause(pbs.DynAllocCmd{ReqID: r.ReqID, Hosts: hosts, Cause: sp.ID()}, sp.ID())
+	}
+}
+
+// partitionedStatic scores candidates partition-parallel and commits
+// them through the global arbiter.
+func (sc *Scheduler) partitionedStatic(info *pbs.SchedInfoResp, phase *trace.Span) {
+	queued := info.Queued
+	nParts := sc.params.Partitions
+
+	// Priorities once, up front (same reasoning as scheduleStatic:
+	// virtual time stands still while we score, so values cannot
+	// change mid-sort).
+	prio := sc.prio
+	if cap(prio) < len(queued) {
+		prio = make([]float64, len(queued))
+	}
+	prio = prio[:len(queued)]
+	sc.prio = prio
+	now := sc.sim.Now()
+	sc.mu.Lock()
+	for i := range queued {
+		j := &queued[i]
+		wait := (now - j.SubmittedAt).Seconds()
+		prio[i] = float64(j.Spec.Priority) + sc.params.QueueTimeWeight*wait - sc.params.FairshareWeight*sc.usage[j.Spec.Owner]
+	}
+	sc.mu.Unlock()
+
+	// Deal jobs to partitions by queue position, skipping jobs whose
+	// allocation is still in flight on a server shard (re-placing
+	// them would double-commit pool capacity).
+	for len(sc.partJobs) < nParts {
+		sc.partJobs = append(sc.partJobs, nil)
+	}
+	for pi := 0; pi < nParts; pi++ {
+		sc.partJobs[pi] = sc.partJobs[pi][:0]
+	}
+	dealt := 0
+	for i := range queued {
+		if sc.skipInflight(queued[i].ID) {
+			continue
+		}
+		sc.partJobs[dealt%nParts] = append(sc.partJobs[dealt%nParts], i)
+		dealt++
+	}
+
+	// Score every partition against its own pool. No virtual time
+	// passes during scoring; the concurrent examination cost is
+	// charged below as the slowest partition's total.
+	proposals := sc.proposals[:0]
+	rescue := sc.rescue[:0]
+	maxExamined := 0
+	for pi := 0; pi < nParts; pi++ {
+		order := sc.partJobs[pi]
+		sort.SliceStable(order, func(a, b int) bool { return prio[order[a]] > prio[order[b]] })
+		p := sc.partPools[pi]
+		var shadow time.Duration = -1
+		examined := 0
+		for _, idx := range order {
+			j := queued[idx]
+			examined++
+			if shadow >= 0 {
+				// This partition's head is blocked; only backfill
+				// candidates that finish before its reservation.
+				if !sc.params.Backfill {
+					continue
+				}
+				if j.Spec.Walltime <= 0 || now+j.Spec.Walltime > shadow {
+					continue
+				}
+			}
+			hosts, acc, ok := p.fit(j.Spec, j.ID)
+			if !ok {
+				if shadow < 0 {
+					shadow = sc.shadowTime(info.Running)
+					rescue = append(rescue, idx)
+				}
+				continue
+			}
+			proposals = append(proposals, proposal{
+				idx: idx, prio: prio[idx], hosts: hosts, acc: acc,
+				backfilled: shadow >= 0,
+			})
+		}
+		if examined > maxExamined {
+			maxExamined = examined
+		}
+	}
+	sc.proposals = proposals
+	sc.rescue = rescue
+
+	// The partitions scored concurrently: a cycle pays the slowest
+	// one, not the sum — the partitioned cycle's core saving.
+	sc.sim.Sleep(time.Duration(maxExamined) * sc.params.PerJobCost)
+
+	// Global arbiter: commit proposals in priority order (ties by
+	// queue position) at a small serial cost each.
+	sort.SliceStable(proposals, func(a, b int) bool {
+		if proposals[a].prio != proposals[b].prio {
+			return proposals[a].prio > proposals[b].prio
+		}
+		return proposals[a].idx < proposals[b].idx
+	})
+	cost := sc.arbiterCost()
+	for _, pr := range proposals {
+		sc.sim.Sleep(cost)
+		if pr.backfilled {
+			sc.inst.backfill.Inc()
+			sc.mu.Lock()
+			sc.stats.Backfilled++
+			sc.mu.Unlock()
+		}
+		sc.place(queued[pr.idx], pr.hosts, pr.acc, phase)
+	}
+
+	// Rescue pass: each partition's blocked head retries against the
+	// remaining capacity of every partition, highest priority first.
+	sort.SliceStable(rescue, func(a, b int) bool {
+		if prio[rescue[a]] != prio[rescue[b]] {
+			return prio[rescue[a]] > prio[rescue[b]]
+		}
+		return rescue[a] < rescue[b]
+	})
+	for _, idx := range rescue {
+		j := queued[idx]
+		sc.sim.Sleep(cost)
+		for pi := 0; pi < nParts; pi++ {
+			if hosts, acc, ok := sc.partPools[pi].fit(j.Spec, j.ID); ok {
+				sc.place(j, hosts, acc, phase)
+				break
+			}
+		}
+	}
+}

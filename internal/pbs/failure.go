@@ -121,7 +121,7 @@ func (s *Server) nodeDown(host string) {
 // failJob ends a job whose compute node died.
 func (s *Server) failJob(jobID, lostHost string) {
 	s.mu.Lock()
-	j, ok := s.jobs[jobID]
+	j, ok := s.index.get(jobID)
 	if !ok || (j.info.State != JobRunning && j.info.State != JobQueued) {
 		s.mu.Unlock()
 		return
@@ -164,7 +164,7 @@ func (s *Server) failJob(jobID, lostHost string) {
 // application keeps running with its remaining set.
 func (s *Server) dropAccelerator(jobID, host string) {
 	s.mu.Lock()
-	j, ok := s.jobs[jobID]
+	j, ok := s.index.get(jobID)
 	if !ok {
 		s.mu.Unlock()
 		return

@@ -31,6 +31,16 @@ type ServerParams struct {
 	// longer than this is declared down (zero disables detection).
 	// Moms must send heartbeats at a period well below DeadAfter.
 	DeadAfter time.Duration
+	// Shards selects the server's dispatch architecture. 0 or 1 keeps
+	// the faithful single-actor loop of the 2013 system: one pbs_server
+	// thread pays Processing per request and serializes everything it
+	// does, including dynamic requests end to end. Values above 1
+	// enable the sharded fast path (shard.go): a router fans requests
+	// out to Shards worker actors keyed by job, each worker drains its
+	// mailbox in batches paying Processing once per batch, the job
+	// index partitions per shard, and DYNJOIN pipelines instead of
+	// serializing.
+	Shards int
 }
 
 // Server is the pbs_server daemon: job queues, the node database, and
@@ -42,20 +52,20 @@ type Server struct {
 	params ServerParams
 	inst   serverInstruments
 
+	// shards holds the worker mailboxes of the sharded dispatch path
+	// (nil in the faithful configuration); see shard.go.
+	shards []*serverShard
+
 	mu         sync.Mutex
 	schedEP    string
 	nextJob    int
 	nextClient int
 	nextDyn    int
-	jobs       map[string]*serverJob
-	order      []string
-	// active holds the submission-ordered ids of jobs that may still
-	// concern the scheduler (queued, held, or running). Terminal jobs
-	// are compacted away lazily during handleSchedInfo, so a cycle's
-	// cost follows the live queue, not the full submission history —
-	// on a trace replay of thousands of jobs the difference is the
-	// scheduler staying O(active) instead of O(everything ever run).
-	active    []string
+	// index is the job database: one partition in the faithful
+	// configuration (exactly the original map + active list), one per
+	// shard otherwise. See index.go for the compaction invariants.
+	index     jobIndex
+	order     []string
 	nodes     map[string]*serverNode
 	nodeOrder []string
 	dynQ      []*DynRecord
@@ -105,6 +115,9 @@ type serverInstruments struct {
 	jobsDone    *telemetry.Counter
 	dynGranted  *telemetry.Counter
 	dynRejected *telemetry.Counter
+	// Sharded-path instruments (idle in the faithful configuration).
+	shardBusy  *telemetry.Occupancy // virtual time shard workers spend handling batches
+	rpcBatches *telemetry.Counter   // batches drained across all shards
 }
 
 // NewServer creates the server daemon; call AddNode for each cluster
@@ -121,12 +134,14 @@ func NewServer(net *netsim.Network, params ServerParams) *Server {
 			jobsDone:    reg.Counter("pbs.jobs_done"),
 			dynGranted:  reg.Counter("pbs.dyn_granted"),
 			dynRejected: reg.Counter("pbs.dyn_rejected"),
+			shardBusy:   reg.Occupancy("pbs.shard_occupancy"),
+			rpcBatches:  reg.Counter("pbs.rpc_batches"),
 		},
 		net:      net,
 		sim:      net.Sim(),
 		ep:       net.Endpoint(ServerEndpoint),
 		params:   params,
-		jobs:     make(map[string]*serverJob),
+		index:    newJobIndex(params.Shards),
 		nodes:    make(map[string]*serverNode),
 		dynReply: make(map[int]dynReplyTo),
 		waiters:  make(map[string][]waiter),
@@ -162,9 +177,14 @@ func (s *Server) Errors() []string {
 }
 
 // Start spawns the server actor (plus the failure detector when
-// enabled). The loops exit when the fabric is closed.
+// enabled). The loops exit when the fabric is closed. With Shards > 1
+// the sharded dispatch path of shard.go replaces the single loop.
 func (s *Server) Start() {
 	s.startFailureDetector()
+	if s.params.Shards > 1 {
+		s.startSharded()
+		return
+	}
 	s.sim.Go("pbs_server", func() {
 		for {
 			m, err := s.ep.Recv()
@@ -278,7 +298,7 @@ func (s *Server) handle(m *netsim.Message) {
 func (s *Server) withJob(id string, fn func(*serverJob)) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
+	j, ok := s.index.get(id)
 	if !ok {
 		return false
 	}
@@ -298,17 +318,18 @@ func (s *Server) handleSubmit(req SubmitReq) {
 	}
 	s.mu.Lock()
 	s.nextJob++
-	id := fmt.Sprintf("%d.%s", s.nextJob, ServerEndpoint)
-	s.jobs[id] = &serverJob{info: JobInfo{
+	seq := s.nextJob
+	id := fmt.Sprintf("%d.%s", seq, ServerEndpoint)
+	s.index.put(seq, id, &serverJob{info: JobInfo{
 		ID:          id,
 		Spec:        req.Spec,
 		State:       JobQueued,
 		AccHosts:    make(map[string][]string),
 		DynSets:     make(map[int][]string),
 		SubmittedAt: s.sim.Now(),
-	}}
+	}})
 	s.order = append(s.order, id)
-	s.active = append(s.active, id)
+	s.index.activate(seq, id)
 	s.mu.Unlock()
 	sp.Annotate("job", id)
 	s.inst.submits.Inc()
@@ -319,7 +340,7 @@ func (s *Server) handleSubmit(req SubmitReq) {
 
 func (s *Server) handleStat(req StatReq) {
 	s.mu.Lock()
-	j, ok := s.jobs[req.JobID]
+	j, ok := s.index.get(req.JobID)
 	var info JobInfo
 	if ok {
 		info = cloneInfo(j.info)
@@ -335,7 +356,7 @@ func (s *Server) handleStat(req StatReq) {
 // handleAlter applies qalter to a job that has not started yet.
 func (s *Server) handleAlter(req AlterReq) {
 	s.mu.Lock()
-	j, ok := s.jobs[req.JobID]
+	j, ok := s.index.get(req.JobID)
 	if !ok {
 		s.mu.Unlock()
 		s.send(req.ReplyTo, AlterResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
@@ -363,7 +384,7 @@ func (s *Server) handleAlter(req AlterReq) {
 // handleHold applies qhold/qrls to a queued job.
 func (s *Server) handleHold(req HoldReq) {
 	s.mu.Lock()
-	j, ok := s.jobs[req.JobID]
+	j, ok := s.index.get(req.JobID)
 	if !ok {
 		s.mu.Unlock()
 		s.send(req.ReplyTo, HoldResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
@@ -387,7 +408,9 @@ func (s *Server) handleList(req ListReq) {
 	s.mu.Lock()
 	jobs := make([]JobInfo, 0, len(s.order))
 	for _, id := range s.order {
-		jobs = append(jobs, cloneInfo(s.jobs[id].info))
+		if j, ok := s.index.get(id); ok {
+			jobs = append(jobs, cloneInfo(j.info))
+		}
 	}
 	s.mu.Unlock()
 	s.send(req.ReplyTo, ListResp{ReqID: req.ReqID, Jobs: jobs})
@@ -395,7 +418,7 @@ func (s *Server) handleList(req ListReq) {
 
 func (s *Server) handleDelete(req DeleteReq) {
 	s.mu.Lock()
-	j, ok := s.jobs[req.JobID]
+	j, ok := s.index.get(req.JobID)
 	if !ok {
 		s.mu.Unlock()
 		s.send(req.ReplyTo, DeleteResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
@@ -432,7 +455,7 @@ func (s *Server) handleDelete(req DeleteReq) {
 
 func (s *Server) handleWait(req WaitReq) {
 	s.mu.Lock()
-	j, ok := s.jobs[req.JobID]
+	j, ok := s.index.get(req.JobID)
 	if !ok {
 		s.mu.Unlock()
 		s.send(req.ReplyTo, WaitResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
@@ -453,7 +476,7 @@ func (s *Server) notifyWaiters(jobID string) {
 	ws := s.waiters[jobID]
 	delete(s.waiters, jobID)
 	var info JobInfo
-	if j, ok := s.jobs[jobID]; ok {
+	if j, ok := s.index.get(jobID); ok {
 		info = cloneInfo(j.info)
 	}
 	s.mu.Unlock()
@@ -473,7 +496,7 @@ func (s *Server) handleDynGet(req DynGetReq) {
 	}
 	defer sp.End()
 	s.mu.Lock()
-	j, ok := s.jobs[req.JobID]
+	j, ok := s.index.get(req.JobID)
 	if !ok || j.info.State != JobRunning || req.Count <= 0 {
 		s.mu.Unlock()
 		reason := "pbs: job not running"
@@ -508,7 +531,27 @@ func (s *Server) handleDynGet(req DynGetReq) {
 
 // startNextDynLocked promotes the oldest dynqueued request to
 // scheduling and kicks the scheduler. Callers hold s.mu.
+//
+// The faithful server works on one dynamic request at a time (the
+// dynBusy flag), so a DYNJOIN in flight blocks every other dynamic
+// request — the serialization behind the paper's Figure 8 latency
+// cliff. The sharded server pipelines instead: every queued request
+// enters scheduling immediately and the joins overlap.
 func (s *Server) startNextDynLocked() {
+	if s.params.Shards > 1 {
+		kicked := false
+		for _, rec := range s.dynQ {
+			if rec.State == DynQueued {
+				rec.State = DynScheduling
+				rec.ServiceAt = s.sim.Now()
+				kicked = true
+			}
+		}
+		if kicked && s.schedEP != "" {
+			s.sendLockedSafe(s.schedEP, SchedKick{Reason: "dynqueued"})
+		}
+		return
+	}
 	if s.dynBusy {
 		return
 	}
@@ -535,7 +578,7 @@ func (s *Server) sendLockedSafe(to string, payload any) {
 
 func (s *Server) handleDynFree(req DynFreeReq) {
 	s.mu.Lock()
-	j, ok := s.jobs[req.JobID]
+	j, ok := s.index.get(req.JobID)
 	if !ok {
 		s.mu.Unlock()
 		s.send(req.ReplyTo, DynFreeResp{ReqID: req.ReqID, Err: ErrUnknownJob.Error()})
@@ -599,31 +642,25 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 	resp.Running = resp.Running[:0]
 	resp.Dyn = resp.Dyn[:0]
 	s.mu.Lock()
-	// Walk the active index, compacting terminal jobs in place so the
-	// next cycle never revisits them.
-	w := 0
-	for _, id := range s.active {
-		j := s.jobs[id]
+	// Walk the active index in submission order, compacting terminal
+	// jobs in place so the next cycle never revisits them.
+	s.index.compactActive(func(id string, j *serverJob) bool {
 		switch j.info.State {
 		case JobQueued:
-			s.active[w] = id
-			w++
-			if j.info.Held {
-				continue // qhold: invisible to the scheduler
+			if !j.info.Held { // qhold: invisible to the scheduler
+				if len(j.info.Hosts) == 0 { // not yet allocated
+					resp.Queued = appendInfo(resp.Queued, j.info)
+				} else {
+					resp.Running = appendInfo(resp.Running, j.info)
+				}
 			}
-			if len(j.info.Hosts) == 0 { // not yet allocated
-				resp.Queued = appendInfo(resp.Queued, j.info)
-			} else {
-				resp.Running = appendInfo(resp.Running, j.info)
-			}
+			return true
 		case JobRunning:
-			s.active[w] = id
-			w++
 			resp.Running = appendInfo(resp.Running, j.info)
+			return true
 		}
-	}
-	clear(s.active[w:])
-	s.active = s.active[:w]
+		return false
+	})
 	for _, rec := range s.dynQ {
 		if rec.State == DynScheduling {
 			resp.Dyn = append(resp.Dyn, SchedDynView{
@@ -644,12 +681,14 @@ func (s *Server) handleAlloc(cmd AllocCmd) {
 	sp.Link(cmd.Cause) // scheduler's place span
 	defer sp.End()
 	s.mu.Lock()
-	j, ok := s.jobs[cmd.JobID]
+	j, ok := s.index.get(cmd.JobID)
 	if !ok || j.info.State != JobQueued || j.info.Held || len(j.info.Hosts) > 0 {
-		// A job deleted, failed, or held while the scheduler was
-		// mid-cycle legitimately races its allocation; drop the
-		// command.
-		benign := ok && (j.info.Held || j.info.State == JobDeleted || j.info.State == JobCompleted || j.info.State == JobFailed)
+		// A job deleted, failed, held — or, with the sharded server,
+		// already allocated by a command this snapshot raced — while
+		// the scheduler was mid-cycle legitimately races its
+		// allocation; drop the command. Only a wholly unknown job ID
+		// indicates a real bug.
+		benign := ok
 		s.mu.Unlock()
 		if !benign {
 			s.logErr("AllocCmd for job %s in invalid state", cmd.JobID)
@@ -739,7 +778,7 @@ func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
 		s.send(route.ep, DynGetResp{ReqID: route.clientReq, ClientID: -1, Err: "pbs: not enough accelerators available"})
 		return
 	}
-	j, ok := s.jobs[rec.JobID]
+	j, ok := s.index.get(rec.JobID)
 	if !ok || j.info.State != JobRunning {
 		rec.State = DynRejected
 		rec.RepliedAt = s.sim.Now()
@@ -857,7 +896,7 @@ func (s *Server) finishDynLocked(rec *DynRecord) {
 			break
 		}
 	}
-	if j, ok := s.jobs[rec.JobID]; ok {
+	if j, ok := s.index.get(rec.JobID); ok {
 		j.info.DynRecords = append(j.info.DynRecords, *rec)
 	}
 	s.dynBusy = false
@@ -868,7 +907,7 @@ func (s *Server) handleJobDone(jobID string) {
 	sp := s.sim.Tracer().Start(ServerTrack, "jobdone", "job", jobID)
 	defer sp.End()
 	s.mu.Lock()
-	j, ok := s.jobs[jobID]
+	j, ok := s.index.get(jobID)
 	if !ok || j.info.State != JobRunning {
 		s.mu.Unlock()
 		return
@@ -908,7 +947,7 @@ func (s *Server) handleJobDone(jobID string) {
 // name every node it can occupy, so the release touches only those
 // instead of sweeping the whole node database. Callers hold s.mu.
 func (s *Server) freeJobLocked(jobID string) {
-	j, ok := s.jobs[jobID]
+	j, ok := s.index.get(jobID)
 	if !ok {
 		return
 	}

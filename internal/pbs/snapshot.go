@@ -57,7 +57,9 @@ func (s *Server) Checkpoint() Snapshot {
 		PendingTo:  make(map[int]dynReplyTo),
 	}
 	for _, id := range s.order {
-		snap.Jobs = append(snap.Jobs, cloneInfo(s.jobs[id].info))
+		if j, ok := s.index.get(id); ok {
+			snap.Jobs = append(snap.Jobs, cloneInfo(j.info))
+		}
 	}
 	for _, name := range s.nodeOrder {
 		n := s.nodes[name]
@@ -87,7 +89,7 @@ func (s *Server) Checkpoint() Snapshot {
 // rejected so their clients unblock.
 func (s *Server) Restore(snap Snapshot) error {
 	s.mu.Lock()
-	if len(s.jobs) != 0 || len(s.nodes) != 0 {
+	if s.index.size() != 0 || len(s.nodes) != 0 {
 		s.mu.Unlock()
 		return errors.New("pbs: Restore on a non-empty server")
 	}
@@ -105,12 +107,15 @@ func (s *Server) Restore(snap Snapshot) error {
 		if live.DynSets == nil {
 			live.DynSets = make(map[int][]string)
 		}
-		s.jobs[info.ID] = &serverJob{info: live}
+		s.index.put(jobSeq(info.ID), info.ID, &serverJob{info: live})
 	}
 	for _, id := range s.order {
-		st := s.jobs[id].info.State
-		if st == JobQueued || st == JobRunning {
-			s.active = append(s.active, id)
+		j, ok := s.index.get(id)
+		if !ok {
+			continue
+		}
+		if st := j.info.State; st == JobQueued || st == JobRunning {
+			s.index.activate(jobSeq(id), id)
 		}
 	}
 	now := s.sim.Now()
@@ -142,7 +147,7 @@ func (s *Server) Restore(snap Snapshot) error {
 		rec.State = DynRejected
 		rec.RepliedAt = s.sim.Now()
 		s.mu.Lock()
-		if j, ok := s.jobs[rec.JobID]; ok {
+		if j, ok := s.index.get(rec.JobID); ok {
 			j.info.DynRecords = append(j.info.DynRecords, *rec)
 			// Return any accelerators an in-forwarding request had
 			// already been assigned.

@@ -315,6 +315,14 @@ type (
 	// SLOPoint is one row of the live-telemetry figure (scrape series
 	// plus SLO compliance at one cluster size).
 	SLOPoint = core.SLOPoint
+	// ServerMode selects the server ablation for the scale ladder.
+	ServerMode = core.ServerMode
+)
+
+// Server modes for ScaleMode/BreakdownMode.
+const (
+	ServerFaithful = core.ServerFaithful
+	ServerSharded  = core.ServerSharded
 )
 
 // Experiment functions and table renderers.
@@ -336,14 +344,26 @@ var (
 
 	// Scale replays a synthetic SWF workload on clusters of growing
 	// size (up to 256 compute nodes / 2048 accelerators by default).
-	Scale      = core.Scale
-	ScaleTable = core.ScaleTable
-	ScaleSizes = core.ScaleSizes
+	// ScaleMode selects the server ablation: ServerFaithful is the
+	// paper's serial pbs_server and global Maui cycle, ServerSharded
+	// the partitioned fast path that extends the ladder to the
+	// ScaleSizesExtended rungs (1024 and 4096 compute nodes).
+	Scale              = core.Scale
+	ScaleMode          = core.ScaleMode
+	ScaleTable         = core.ScaleTable
+	ScaleShardedTable  = core.ScaleShardedTable
+	ScaleSizes         = core.ScaleSizes
+	ScaleSizesExtended = core.ScaleSizesExtended
+	ParseServerMode    = core.ParseServerMode
+	ShardsFor          = core.ShardsFor
+	PartitionsFor      = core.PartitionsFor
 
 	// Breakdown runs the causal profiler over the scale ladder: the
 	// paper's static-vs-dynamic overhead decomposition, per phase,
-	// at every cluster size.
+	// at every cluster size. BreakdownMode profiles the chosen server
+	// ablation so dacprof -diff can attribute what the sharding buys.
 	Breakdown         = core.Breakdown
+	BreakdownMode     = core.BreakdownMode
 	BreakdownTable    = core.BreakdownTable
 	DynBreakdownTable = core.DynBreakdownTable
 
