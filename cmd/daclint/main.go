@@ -14,6 +14,14 @@
 //
 //	daclint .
 //
+// Standalone mode also has a machine-readable form for CI archival:
+//
+//	daclint -json .
+//
+// which emits one JSON object with every finding, per-analyzer
+// counts (zeroes included, so the schema is stable), CFG-build
+// statistics from the flow-sensitive analyzers, and total runtime.
+//
 // False positives are suppressed in place with a reasoned directive:
 //
 //	//lint:ignore walltime host-side progress logging, not sim time
@@ -39,9 +47,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
 )
 
 func main() {
@@ -67,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
+	case "-json":
+		if len(args) < 2 {
+			usage(stderr)
+			return 2
+		}
+		return runStandaloneJSON(args[1], stdout, stderr)
 	}
 	if strings.HasSuffix(args[0], ".cfg") {
 		return runVetUnit(args[0], stderr)
@@ -78,7 +94,8 @@ func usage(w io.Writer) {
 	fmt.Fprintf(w, "daclint enforces the simulator's determinism and virtual-time invariants.\n\n")
 	fmt.Fprintf(w, "usage:\n")
 	fmt.Fprintf(w, "  go vet -vettool=/path/to/daclint ./...   # vet-tool mode (preferred)\n")
-	fmt.Fprintf(w, "  daclint <module-dir>                     # standalone, loads from source\n\n")
+	fmt.Fprintf(w, "  daclint <module-dir>                     # standalone, loads from source\n")
+	fmt.Fprintf(w, "  daclint -json <module-dir>               # standalone, JSON report on stdout\n\n")
 	fmt.Fprintf(w, "analyzers:\n")
 	for _, a := range lint.Suite() {
 		fmt.Fprintf(w, "  %-15s %s\n", a.Name, a.Doc)
@@ -249,10 +266,93 @@ func runStandalone(dir string, stdout, stderr io.Writer) int {
 func printDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
-		name := filepath.ToSlash(p.Filename)
-		if rel, err := filepath.Rel(".", p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			name = filepath.ToSlash(rel)
-		}
-		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, p.Line, p.Column, d.Category, d.Message)
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", relName(p.Filename), p.Line, p.Column, d.Category, d.Message)
 	}
+}
+
+func relName(filename string) string {
+	if rel, err := filepath.Rel(".", filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// jsonReport is the machine-readable result of a standalone run, one
+// object per invocation. Analyzers carries a count for every suite
+// analyzer (zeroes included) plus "ignore" for malformed directives,
+// so consumers can key off a stable schema.
+type jsonReport struct {
+	Packages  int            `json:"packages"`
+	Findings  []jsonFinding  `json:"findings"`
+	Analyzers map[string]int `json:"analyzers"`
+	CFG       jsonCFGStats   `json:"cfg"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonCFGStats reports the flow-sensitive analyzers' CFG construction
+// work: how many function CFGs were built and the wall time spent
+// building them (process-cumulative, from cfg.Stats).
+type jsonCFGStats struct {
+	Builds  int64   `json:"builds"`
+	BuildMS float64 `json:"build_ms"`
+}
+
+// runStandaloneJSON is runStandalone with a JSON report on stdout.
+// The exit code keeps the text mode's contract: 2 when there are
+// findings, 0 on a clean module, 1 on operational failure.
+func runStandaloneJSON(dir string, stdout, stderr io.Writer) int {
+	start := time.Now()
+	pkgs, err := lint.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "daclint: %v\n", err)
+		return 1
+	}
+	suite := lint.Suite()
+	rep := jsonReport{
+		Packages:  len(pkgs),
+		Findings:  []jsonFinding{},
+		Analyzers: map[string]int{"ignore": 0},
+	}
+	for _, a := range suite {
+		rep.Analyzers[a.Name] = 0
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "daclint: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File:     relName(p.Filename),
+				Line:     p.Line,
+				Col:      p.Column,
+				Analyzer: d.Category,
+				Message:  d.Message,
+			})
+			rep.Analyzers[d.Category]++
+		}
+	}
+	builds, buildTime := cfg.Stats()
+	rep.CFG = jsonCFGStats{Builds: builds, BuildMS: float64(buildTime.Microseconds()) / 1000}
+	rep.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "daclint: %v\n", err)
+		return 1
+	}
+	if len(rep.Findings) > 0 {
+		return 2
+	}
+	return 0
 }

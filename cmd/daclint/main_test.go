@@ -158,3 +158,51 @@ func Stamp() time.Time {
 		t.Fatalf("annotated module exit %d; stdout %s stderr %s", code, out.String(), errb.String())
 	}
 }
+
+// TestStandaloneJSON pins the -json report schema: per-analyzer
+// counts with zeroes for quiet analyzers, the findings list, and the
+// CFG/runtime stats the CI lint job archives.
+func TestStandaloneJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "simstuff"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package simstuff
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "simstuff", "s.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-json", dir}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2; stdout %s stderr %s", code, out.String(), errb.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not the report schema: %v\n%s", err, out.String())
+	}
+	if rep.Packages != 1 {
+		t.Errorf("packages = %d, want 1", rep.Packages)
+	}
+	if rep.Analyzers["walltime"] != 1 {
+		t.Errorf("analyzers[walltime] = %d, want 1", rep.Analyzers["walltime"])
+	}
+	// Quiet analyzers must still be present, with explicit zeroes.
+	for _, name := range []string{"poolbalance", "handlerexhaustive", "actorown", "ignore"} {
+		if n, ok := rep.Analyzers[name]; !ok || n != 0 {
+			t.Errorf("analyzers[%s] = %d, present=%v; want an explicit 0", name, n, ok)
+		}
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "walltime" || rep.Findings[0].Line != 5 {
+		t.Errorf("findings = %+v, want one walltime finding at line 5", rep.Findings)
+	}
+	if rep.ElapsedMS <= 0 {
+		t.Errorf("elapsed_ms = %v, want > 0", rep.ElapsedMS)
+	}
+}

@@ -1,0 +1,702 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+)
+
+// NewActorOwn returns the actorown analyzer: it infers the owning
+// goroutine of actor state structs from where their run loops are
+// spawned and flags struct field accesses reachable from a different
+// goroutine that go through neither the mailbox nor a held mutex.
+//
+// spawners name the kernel spawn primitives ("(*pkg.Type).Method"
+// patterns, like the simulation kernel's Go). A struct S becomes an
+// actor when a method with receiver S spawns a goroutine: the spawned
+// function and everything it calls inside the package is S's owner
+// context. Functions that can reach a spawn site or that construct S
+// are initialization context (they run before the owner exists).
+// Everything else reachable from the package's exported surface is
+// external context: a field access there races with the owner unless
+// one of the exemptions applies.
+//
+// Exemptions, in the order they are tried:
+//   - fields that are themselves synchronization (they contain a
+//     mutex, possibly behind a pointer; sync/atomic types; channels);
+//   - init-only fields: every write in the package occurs in
+//     initialization context, so post-spawn accesses are reads of
+//     frozen state;
+//   - functions whose name contains "Locked": the repo convention
+//     for "caller holds the receiver's mutex";
+//   - accesses at program points where a mutex of the same receiver
+//     is held on every path (a forward must-analysis over the CFG;
+//     deferred unlocks do not end the held region).
+//
+// When S has multiple spawn sites (or a spawn inside a loop) the
+// owner contexts also race with each other, so owner functions are
+// checked too. One diagnostic is reported per function and struct,
+// naming every offending field and an external entry point.
+func NewActorOwn(spawners []string, scope ...string) *analysis.Analyzer {
+	var pats []callPat
+	for _, s := range spawners {
+		pats = append(pats, parseCallPat(s))
+	}
+	a := &analysis.Analyzer{
+		Name: "actorown",
+		Doc: "flag actor-struct field accesses reachable from outside the owning goroutine " +
+			"that bypass both the mailbox and every tracked mutex",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if len(scope) > 0 && !hasPrefixAny(pass.Pkg.Path(), scope) {
+			return nil
+		}
+		runActorOwn(pass, pats)
+		return nil
+	}
+	return a
+}
+
+// aoFunc is one function body in the package: a declaration or a
+// function literal.
+type aoFunc struct {
+	idx      int
+	name     string
+	body     *ast.BlockStmt
+	obj      *types.Func     // nil for literals
+	recvType *types.TypeName // receiver's named type, methods only
+	lit      *ast.FuncLit
+	exported bool
+	calls    []int // same-package call edges + literal containment
+	pos      token.Pos
+}
+
+// aoStruct is one inferred actor struct.
+type aoStruct struct {
+	tn         *types.TypeName
+	roots      []int // spawned owner functions
+	spawnSites int
+	spawnLoop  bool         // a spawn site sits inside a loop
+	initFns    map[int]bool // spawn-containing + constructors (pre-closure)
+}
+
+func runActorOwn(pass *analysis.Pass, pats []callPat) {
+	// ---- collect function bodies ----
+	var funcs []*aoFunc
+	declIdx := map[*types.Func]int{}
+	litIdx := map[*ast.FuncLit]int{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			n := &aoFunc{idx: len(funcs), name: funcDisplayName(fd), body: fd.Body,
+				exported: fd.Name.IsExported(), pos: fd.Pos()}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				n.obj = fn
+				declIdx[fn] = n.idx
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				n.recvType = recvTypeIdent(pass, fd.Recv.List[0].Type)
+			}
+			funcs = append(funcs, n)
+		}
+	}
+	nDecls := len(funcs)
+	var collectLits func(parent int, root ast.Node)
+	collectLits = func(parent int, root ast.Node) {
+		ast.Inspect(root, func(x ast.Node) bool {
+			if x == root {
+				return true
+			}
+			if lit, ok := x.(*ast.FuncLit); ok {
+				n := &aoFunc{idx: len(funcs), name: funcs[parent].name + " (func literal)",
+					body: lit.Body, lit: lit, pos: lit.Pos()}
+				funcs = append(funcs, n)
+				litIdx[lit] = n.idx
+				collectLits(n.idx, lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+	for i := 0; i < nDecls; i++ {
+		collectLits(i, funcs[i].body)
+	}
+
+	// ---- call edges, spawn sites, actor structs ----
+	structs := map[*types.TypeName]*aoStruct{}
+	spawnRoot := map[int]bool{}
+	getStruct := func(tn *types.TypeName) *aoStruct {
+		s := structs[tn]
+		if s == nil {
+			s = &aoStruct{tn: tn, initFns: map[int]bool{}}
+			structs[tn] = s
+		}
+		return s
+	}
+	for _, fn := range funcs {
+		fn := fn
+		aoScope(fn.body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if !spawnRoot[litIdx[lit]] {
+					fn.calls = append(fn.calls, litIdx[lit])
+				}
+				return false // the literal has its own node
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			if tgt, ok := declIdx[callee]; ok {
+				fn.calls = append(fn.calls, tgt)
+			}
+			for _, p := range pats {
+				if !p.match(callee) {
+					continue
+				}
+				root := spawnedFunc(pass, call, declIdx, litIdx)
+				if root < 0 || fn.recvType == nil {
+					break
+				}
+				spawnRoot[root] = true
+				s := getStruct(fn.recvType)
+				s.roots = append(s.roots, root)
+				s.spawnSites++
+				if posInLoop(fn.body, call.Pos()) {
+					s.spawnLoop = true
+				}
+				s.initFns[fn.idx] = true
+				break
+			}
+			return true
+		})
+	}
+	if len(structs) == 0 {
+		return
+	}
+
+	// Constructors: any function building a composite literal of an
+	// actor struct is initialization context for it.
+	for _, fn := range funcs {
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[cl].Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				if s, ok := structs[named.Obj()]; ok {
+					s.initFns[fn.idx] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// ---- reachability sets ----
+	callers := make([][]int, len(funcs))
+	for _, fn := range funcs {
+		for _, c := range fn.calls {
+			callers[c] = append(callers[c], fn.idx)
+		}
+	}
+	closure := func(seed []int, edges func(int) []int) []bool {
+		seen := make([]bool, len(funcs))
+		work := append([]int(nil), seed...)
+		for len(work) > 0 {
+			i := work[0]
+			work = work[1:]
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			work = append(work, edges(i)...)
+		}
+		return seen
+	}
+	var exportedSeed []int
+	for _, fn := range funcs {
+		if fn.exported {
+			exportedSeed = append(exportedSeed, fn.idx)
+		}
+	}
+	// Spawn-root literals are only entered by the kernel, so plain
+	// call edges (which exclude them) model the synchronous reach of
+	// the exported surface.
+	extReach := closure(exportedSeed, func(i int) []int { return funcs[i].calls })
+
+	// Field writers, per actor struct: field object -> writing funcs.
+	writers := map[*types.TypeName]map[*types.Var][]int{}
+	for tn := range structs {
+		writers[tn] = map[*types.Var][]int{}
+	}
+	for _, fn := range funcs {
+		aoScope(fn.body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					recordFieldWrite(pass, structs, writers, lhs, fn.idx)
+				}
+			case *ast.IncDecStmt:
+				recordFieldWrite(pass, structs, writers, n.X, fn.idx)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					// Taking the address can hand out a mutable
+					// alias: treated as a write.
+					recordFieldWrite(pass, structs, writers, n.X, fn.idx)
+				}
+			}
+			return true
+		})
+	}
+
+	// ---- per-struct checking ----
+	var order []*aoStruct
+	for _, s := range structs {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].tn.Name() < order[j].tn.Name() })
+
+	for _, s := range order {
+		owner := closure(s.roots, func(i int) []int { return funcs[i].calls })
+		multiOwner := s.spawnLoop || distinctCount(s.roots) > 1 || s.spawnSites > 1
+
+		var initSeed []int
+		for i := range s.initFns {
+			initSeed = append(initSeed, i)
+		}
+		sort.Ints(initSeed)
+		// Anything that can call into a spawning/constructing path
+		// runs before the owner exists.
+		isInit := closure(initSeed, func(i int) []int { return callers[i] })
+
+		// Init-only fields: every write in the package happens in
+		// initialization context.
+		initOnly := func(field *types.Var) bool {
+			for _, w := range writers[s.tn][field] {
+				if !isInit[w] {
+					return false
+				}
+			}
+			return true
+		}
+
+		for _, fn := range funcs {
+			if fn.lit != nil && !spawnRoot[fn.idx] {
+				// Literal bodies are checked as part of their
+				// enclosing declaration so lock context carries in.
+				continue
+			}
+			if isInit[fn.idx] || strings.Contains(fn.name, "Locked") {
+				continue
+			}
+			external := extReach[fn.idx] && !owner[fn.idx]
+			concurrentOwner := multiOwner && owner[fn.idx]
+			if !external && !concurrentOwner {
+				continue
+			}
+			checkActorAccesses(pass, s, fn, funcs, callers, extReach, initOnly, external)
+		}
+	}
+}
+
+// checkActorAccesses walks one function (nested literals included)
+// for unguarded accesses to fields of s and reports them as one
+// diagnostic.
+func checkActorAccesses(pass *analysis.Pass, s *aoStruct, fn *aoFunc, funcs []*aoFunc,
+	callers [][]int, extReach []bool, initOnly func(*types.Var) bool, external bool) {
+
+	type access struct {
+		sel   *ast.SelectorExpr
+		field *types.Var
+		base  string
+	}
+	var accesses []access
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		t := pass.TypesInfo.Types[sel.X].Type
+		if t == nil {
+			return true
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj() != s.tn {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		if syncSafeField(field.Type()) || initOnly(field) {
+			return true
+		}
+		accesses = append(accesses, access{sel: sel, field: field, base: exprKey(sel.X)})
+		return true
+	})
+	if len(accesses) == 0 {
+		return
+	}
+
+	// Flow-sensitive mutex check: which lock keys are held, on every
+	// path, at each access?
+	g := cfg.New(fn.body, cfg.Options{})
+	keys, keyIdx := lockKeys(pass, fn.body)
+	var res cfg.Result
+	if len(keys) > 0 {
+		res = cfg.Solve(g, cfg.Problem{
+			Dir:      cfg.Forward,
+			May:      false,
+			NumFacts: len(keys),
+			Transfer: func(b *cfg.Block, facts cfg.Bits) {
+				for _, n := range b.Nodes {
+					applyLockEffects(pass, n, keyIdx, facts)
+				}
+			},
+		})
+	}
+
+	heldAt := func(pos token.Pos, base string) bool {
+		if len(keys) == 0 {
+			return false
+		}
+		b, node := locateNode(g, pos)
+		if b == nil {
+			return false
+		}
+		facts := res.In[b.Index].Clone()
+		for _, n := range b.Nodes {
+			if n == node {
+				break
+			}
+			applyLockEffects(pass, n, keyIdx, facts)
+		}
+		for i, k := range keys {
+			if facts.Has(i) && strings.HasPrefix(k, base+".") {
+				return true
+			}
+		}
+		return false
+	}
+
+	var bad []access
+	for _, a := range accesses {
+		if !heldAt(a.sel.Pos(), a.base) {
+			bad = append(bad, a)
+		}
+	}
+	if len(bad) == 0 {
+		return
+	}
+
+	fieldNames := map[string]bool{}
+	for _, a := range bad {
+		fieldNames[a.field.Name()] = true
+	}
+	var names []string
+	for n := range fieldNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	entry := "a concurrent owner goroutine (multiple spawn sites)"
+	if external {
+		entry = "exported entry " + entryPath(funcs, callers, extReach, fn.idx)
+	}
+	pass.Reportf(bad[0].sel.Pos(),
+		"field %s of actor struct %s accessed in %s without its mutex held; reachable from %s: route through the mailbox, hold the mutex, or //lint:ignore actorown with the exclusion protocol",
+		strings.Join(names, ", "), s.tn.Name(), fn.name, entry)
+}
+
+// entryPath names an exported function that reaches fn, preferring
+// fn itself when exported.
+func entryPath(funcs []*aoFunc, callers [][]int, extReach []bool, fn int) string {
+	if funcs[fn].exported {
+		return funcs[fn].name
+	}
+	seen := make([]bool, len(funcs))
+	work := []int{fn}
+	seen[fn] = true
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		if funcs[i].exported {
+			return funcs[i].name
+		}
+		cs := append([]int(nil), callers[i]...)
+		sort.Ints(cs)
+		for _, c := range cs {
+			if !seen[c] && extReach[c] {
+				seen[c] = true
+				work = append(work, c)
+			}
+		}
+	}
+	return funcs[fn].name
+}
+
+// lockKeys collects the receiver keys of every sync lock operation
+// in body (nested literals excluded: their locks are their own).
+func lockKeys(pass *analysis.Pass, body *ast.BlockStmt) ([]string, map[string]int) {
+	var keys []string
+	idx := map[string]int{}
+	aoScope(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, key := lockMethod(pass, call); name != "" {
+				if _, ok := idx[key]; !ok {
+					idx[key] = len(keys)
+					keys = append(keys, key)
+				}
+			}
+		}
+		return true
+	})
+	return keys, idx
+}
+
+// applyLockEffects updates held-lock facts for the lock calls inside
+// one CFG node. Deferred unlocks run at function exit and do not end
+// the held region; deferred locks do not start one.
+func applyLockEffects(pass *analysis.Pass, n ast.Node, keyIdx map[string]int, facts cfg.Bits) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.RangeStmt:
+			// A range.head block carries the whole RangeStmt, but
+			// only the ranged-over expression evaluates there — the
+			// body's lock traffic belongs to other blocks.
+			applyLockEffects(pass, x.X, keyIdx, facts)
+			return false
+		case *ast.CallExpr:
+			name, key := lockMethod(pass, x)
+			i, tracked := keyIdx[key]
+			if !tracked {
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				facts.Set(i)
+			case "Unlock", "RUnlock":
+				facts.Clear(i)
+			}
+		}
+		return true
+	})
+}
+
+// locateNode finds the CFG block and node whose source range covers
+// pos, preferring the smallest covering node: a loop-head block
+// carries the whole RangeStmt, whose span swallows the body, but the
+// body statements live in their own blocks and must win so that lock
+// state is read at the access, not at the loop head. Nested function
+// literals appear as part of the node that contains them, which
+// attributes closure accesses to the lock state at their creation
+// point.
+func locateNode(g *cfg.CFG, pos token.Pos) (*cfg.Block, ast.Node) {
+	var (
+		bestBlock *cfg.Block
+		bestNode  ast.Node
+	)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				if bestNode == nil || n.End()-n.Pos() < bestNode.End()-bestNode.Pos() {
+					bestBlock, bestNode = b, n
+				}
+			}
+		}
+	}
+	return bestBlock, bestNode
+}
+
+// syncSafeField reports whether a field's type is itself a
+// synchronization primitive: contains a mutex (possibly behind a
+// pointer), is a sync/atomic type, or is a channel.
+func syncSafeField(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return containsLock(t, nil)
+}
+
+// recordFieldWrite resolves an assigned/addressed expression to an
+// actor-struct field and records the writing function. The S-level
+// field is charged for deep writes (s.stats.X = v writes field
+// stats).
+func recordFieldWrite(pass *analysis.Pass, structs map[*types.TypeName]*aoStruct,
+	writers map[*types.TypeName]map[*types.Var][]int, e ast.Expr, fnIdx int) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			t := pass.TypesInfo.Types[x.X].Type
+			if t != nil {
+				if ptr, ok := t.Underlying().(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					if _, isActor := structs[named.Obj()]; isActor {
+						if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+							if field, ok := sel.Obj().(*types.Var); ok {
+								writers[named.Obj()][field] = append(writers[named.Obj()][field], fnIdx)
+							}
+						}
+						return
+					}
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// aoScope walks body delivering every node, handing FuncLits to fn
+// and descending only when fn returns true.
+func aoScope(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// spawnedFunc resolves the function argument of a spawn call to a
+// collected function body: the last argument of function type, given
+// as a literal or a method value.
+func spawnedFunc(pass *analysis.Pass, call *ast.CallExpr, declIdx map[*types.Func]int, litIdx map[*ast.FuncLit]int) int {
+	for i := len(call.Args) - 1; i >= 0; i-- {
+		arg := ast.Unparen(call.Args[i])
+		t := pass.TypesInfo.Types[call.Args[i]].Type
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Signature); !ok {
+			continue
+		}
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			if idx, ok := litIdx[lit]; ok {
+				return idx
+			}
+			return -1
+		}
+		var obj types.Object
+		switch a := arg.(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[a]
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[a]; ok {
+				obj = sel.Obj()
+			}
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			if idx, ok := declIdx[fn]; ok {
+				return idx
+			}
+		}
+		return -1
+	}
+	return -1
+}
+
+// posInLoop reports whether pos sits inside a for or range statement
+// within body.
+func posInLoop(body *ast.BlockStmt, pos token.Pos) bool {
+	in := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= pos && pos <= n.End() {
+				in = true
+			}
+		}
+		return true
+	})
+	return in
+}
+
+func distinctCount(xs []int) int {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return fd.Name.Name
+	}
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	case *ast.Ident:
+		return "(" + t.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func recvTypeIdent(pass *analysis.Pass, e ast.Expr) *types.TypeName {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if tn, ok := pass.TypesInfo.Uses[id].(*types.TypeName); ok {
+		return tn
+	}
+	return nil
+}

@@ -39,6 +39,20 @@ func TestMetricName(t *testing.T) {
 	linttest.Run(t, "testdata", []*analysis.Analyzer{lint.NewMetricName()}, "metricnames")
 }
 
+func TestActorOwn(t *testing.T) {
+	a := lint.NewActorOwn([]string{"(*actorsim.Sim).Go"})
+	linttest.Run(t, "testdata", []*analysis.Analyzer{a}, "actorstate")
+}
+
+func TestHandlerExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata", []*analysis.Analyzer{lint.NewHandlerExhaustive()}, "handlers")
+}
+
+func TestPoolBalance(t *testing.T) {
+	a := lint.NewPoolBalance("(*poolbal.Conn).Recv", "(*poolbal.Conn).TryRecv", "poolbal.Acquire")
+	linttest.Run(t, "testdata", []*analysis.Analyzer{a}, "poolbal")
+}
+
 // TestIgnoreDirectives covers the suppression contract end to end:
 // wrong-name directives suppress nothing, multi-name and same-line
 // directives suppress their named analyzers.
@@ -78,10 +92,10 @@ func TestMalformedIgnore(t *testing.T) {
 	}
 }
 
-// TestSuite pins the shipped analyzer set: seven analyzers, stable
+// TestSuite pins the shipped analyzer set: ten analyzers, stable
 // names, stable order — the CI job summary keys off these names.
 func TestSuite(t *testing.T) {
-	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance", "metricname"}
+	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance", "metricname", "poolbalance", "handlerexhaustive", "actorown"}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,200 @@
+package cfg
+
+// The dataflow half of the package: bitvector gen/kill problems
+// solved by worklist fixpoint iteration over a CFG. Analyzers define
+// a Problem (direction, meet operator, per-block transfer, optional
+// per-edge refinement) and read back per-block fact sets; replaying
+// the transfer node-by-node inside one block recovers statement-level
+// precision when a diagnostic needs it.
+
+// Bits is a fixed-width bitvector of dataflow facts.
+type Bits []uint64
+
+// NewBits returns an all-zero vector with capacity for n facts.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Has reports whether fact i is set.
+func (b Bits) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Set sets fact i.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears fact i.
+func (b Bits) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Fill sets every fact (the top element of a must-analysis lattice).
+func (b Bits) Fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// Clone returns an independent copy.
+func (b Bits) Clone() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether two vectors carry the same facts.
+func (b Bits) Equal(o Bits) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func union(dst, src Bits) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func intersect(dst, src Bits) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+// Direction orients a dataflow problem.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Problem is one gen/kill dataflow analysis over a CFG.
+type Problem struct {
+	Dir Direction
+	// May selects the meet operator: union for a may-analysis
+	// ("holds on some path"), intersection for a must-analysis
+	// ("holds on every path"). Must-analyses initialize interior
+	// blocks to the full set so unreachable joins stay neutral.
+	May      bool
+	NumFacts int
+	// Boundary is the fact set at the boundary block (Entry for
+	// Forward, Exit for Backward). Nil means the empty set.
+	Boundary Bits
+	// Transfer mutates facts in place, applying the block's effect
+	// in the analysis direction. It is called many times during
+	// iteration and must be deterministic and side-effect free.
+	Transfer func(b *Block, facts Bits)
+	// Edge, if non-nil, refines the facts flowing across the CFG
+	// edge from→to (in control-flow orientation, regardless of
+	// Dir). It must either return facts unchanged or return a
+	// modified clone; it must not mutate its argument.
+	Edge func(from, to *Block, facts Bits) Bits
+}
+
+// Result holds the fixpoint. In[i] is the fact set entering block i
+// in the analysis direction (for Backward problems that is the facts
+// at the block's end, flowing back from its successors); Out[i] is
+// after the block's transfer.
+type Result struct {
+	In, Out []Bits
+}
+
+// Solve iterates p over g to a fixpoint. Gen/kill transfers are
+// monotone, so termination is guaranteed; a generous iteration cap
+// guards against a non-monotone Transfer bug.
+func Solve(g *CFG, p Problem) Result {
+	n := len(g.Blocks)
+	res := Result{In: make([]Bits, n), Out: make([]Bits, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = NewBits(p.NumFacts)
+		res.Out[i] = NewBits(p.NumFacts)
+		if !p.May {
+			res.In[i].Fill()
+			res.Out[i].Fill()
+		}
+	}
+	boundary := g.Entry
+	if p.Dir == Backward {
+		boundary = g.Exit
+	}
+	res.In[boundary.Index] = NewBits(p.NumFacts)
+	if p.Boundary != nil {
+		copy(res.In[boundary.Index], p.Boundary)
+	}
+
+	// Worklist seeded with every block in index order; construction
+	// order approximates reverse postorder for Forward problems.
+	work := make([]*Block, 0, n)
+	inWork := make([]bool, n)
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	if p.Dir == Forward {
+		for _, b := range g.Blocks {
+			push(b)
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			push(g.Blocks[i])
+		}
+	}
+
+	flowIn := func(b *Block) []*Block {
+		if p.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	flowOut := func(b *Block) []*Block {
+		if p.Dir == Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+
+	limit := 64 * (n + 2) * (p.NumFacts + 2)
+	for iter := 0; len(work) > 0 && iter < limit; iter++ {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		if b != boundary {
+			in := NewBits(p.NumFacts)
+			first := true
+			for _, pr := range flowIn(b) {
+				facts := res.Out[pr.Index]
+				if p.Edge != nil {
+					if p.Dir == Forward {
+						facts = p.Edge(pr, b, facts)
+					} else {
+						facts = p.Edge(b, pr, facts)
+					}
+				}
+				if first {
+					copy(in, facts)
+					first = false
+				} else if p.May {
+					union(in, facts)
+				} else {
+					intersect(in, facts)
+				}
+			}
+			if first && !p.May {
+				// No flow predecessors: top for a must-analysis.
+				in.Fill()
+			}
+			res.In[b.Index] = in
+		}
+
+		out := res.In[b.Index].Clone()
+		p.Transfer(b, out)
+		if !out.Equal(res.Out[b.Index]) {
+			res.Out[b.Index] = out
+			for _, s := range flowOut(b) {
+				push(s)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// NewHandlerExhaustive returns the handlerexhaustive analyzer: it
+// cross-checks the wire-message structs a package declares in its
+// protocol file (any file named proto.go) against the payload
+// dispatch sites that consume them — type switches and type
+// assertions on a `.Payload` field. Two invariants are enforced
+// per package:
+//
+//  1. Every named struct declared in proto.go is consumed by at
+//     least one payload type-switch case or payload type assertion
+//     in the same package. A message nobody dispatches on is dead
+//     protocol surface — or its handler lives in another package,
+//     which is a deliberate protocol split that must carry a
+//     //lint:ignore naming the consuming package.
+//     Structs that appear as field types of other protocol messages
+//     are sub-messages, not top-level envelopes, and are exempt.
+//  2. Every exported type named in a payload type-switch case that
+//     belongs to the package being checked is declared in proto.go.
+//     A case over a non-protocol type is a stray or stale dispatch
+//     arm (the message moved or was deleted). Unexported case types
+//     are local control tokens (stop messages) and are exempt, as
+//     are types imported from other packages, whose protocol files
+//     this pass cannot see.
+func NewHandlerExhaustive() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "handlerexhaustive",
+		Doc: "cross-check proto.go message structs against the payload type-switches that " +
+			"dispatch them: unconsumed messages and dispatch cases over non-protocol types",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		runHandlerExhaustive(pass)
+		return nil
+	}
+	return a
+}
+
+func runHandlerExhaustive(pass *analysis.Pass) {
+	// Named struct types declared in this package's proto.go, in
+	// declaration order.
+	var protoOrder []*ast.Ident
+	protoTypes := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) != "proto.go" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					protoTypes[obj] = true
+					protoOrder = append(protoOrder, ts.Name)
+				}
+			}
+		}
+	}
+
+	// Sub-messages: protocol structs embedded as field types of other
+	// protocol structs (directly or through pointers, slices, arrays,
+	// and maps). They ride inside an envelope and need no dispatch
+	// case of their own.
+	subMessage := map[types.Object]bool{}
+	for obj := range protoTypes {
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			markFieldTypes(st.Field(i).Type(), protoTypes, subMessage, 0)
+		}
+	}
+
+	// Consumption sites: type-switch cases and type assertions whose
+	// operand is a selector named Payload.
+	consumed := map[types.Object]bool{}
+	type caseSite struct {
+		obj types.Object
+		pos *ast.Ident
+	}
+	var caseSites []caseSite
+	recordType := func(e ast.Expr) types.Object {
+		e = ast.Unparen(e)
+		if star, ok := e.(*ast.StarExpr); ok {
+			e = ast.Unparen(star.X)
+		}
+		var id *ast.Ident
+		switch x := e.(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel // imported type
+		default:
+			return nil
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		if _, isType := obj.(*types.TypeName); !isType {
+			return nil
+		}
+		consumed[obj] = true
+		if obj.Pkg() == pass.Pkg && obj.Exported() {
+			caseSites = append(caseSites, caseSite{obj: obj, pos: id})
+		}
+		return obj
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSwitchStmt:
+				var operand ast.Expr
+				switch assign := n.Assign.(type) {
+				case *ast.ExprStmt:
+					if ta, ok := ast.Unparen(assign.X).(*ast.TypeAssertExpr); ok {
+						operand = ta.X
+					}
+				case *ast.AssignStmt:
+					if ta, ok := ast.Unparen(assign.Rhs[0]).(*ast.TypeAssertExpr); ok {
+						operand = ta.X
+					}
+				}
+				if !isPayloadExpr(operand) {
+					return true
+				}
+				for _, cs := range n.Body.List {
+					for _, texpr := range cs.(*ast.CaseClause).List {
+						recordType(texpr)
+					}
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type != nil && isPayloadExpr(n.X) {
+					recordType(n.Type)
+				}
+			}
+			return true
+		})
+	}
+
+	// Invariant 1: declared but never dispatched.
+	for _, name := range protoOrder {
+		obj := pass.TypesInfo.Defs[name]
+		if consumed[obj] || subMessage[obj] {
+			continue
+		}
+		pass.Reportf(name.Pos(),
+			"message %s is declared in proto.go but no payload type-switch or assertion in package %s consumes it: dead protocol surface, or the handler lives elsewhere (//lint:ignore handlerexhaustive naming the consumer)",
+			name.Name, pass.Pkg.Name())
+	}
+
+	// Invariant 2: dispatch case over a same-package exported type
+	// that is not part of the protocol.
+	sort.Slice(caseSites, func(i, j int) bool { return caseSites[i].pos.Pos() < caseSites[j].pos.Pos() })
+	seen := map[types.Object]bool{}
+	for _, cs := range caseSites {
+		if protoTypes[cs.obj] || seen[cs.obj] {
+			continue
+		}
+		seen[cs.obj] = true
+		if !packageHasProto(pass) {
+			continue // package keeps its protocol elsewhere; nothing to pin against
+		}
+		pass.Reportf(cs.pos.Pos(),
+			"payload dispatch case %s is not declared in this package's proto.go: stray or stale dispatch arm",
+			cs.obj.Name())
+	}
+}
+
+func packageHasProto(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "proto.go" {
+			return true
+		}
+	}
+	return false
+}
+
+// isPayloadExpr reports whether e is a selector for a field or
+// method named Payload (x.Payload, m.msg.Payload, ...).
+func isPayloadExpr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Payload"
+}
+
+// markFieldTypes records protocol types reachable as components of a
+// field type: behind pointers, slices, arrays, and map keys/values.
+func markFieldTypes(t types.Type, protoTypes, sub map[types.Object]bool, depth int) {
+	if depth > 4 {
+		return
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		if protoTypes[t.Obj()] {
+			sub[t.Obj()] = true
+		}
+	case *types.Pointer:
+		markFieldTypes(t.Elem(), protoTypes, sub, depth+1)
+	case *types.Slice:
+		markFieldTypes(t.Elem(), protoTypes, sub, depth+1)
+	case *types.Array:
+		markFieldTypes(t.Elem(), protoTypes, sub, depth+1)
+	case *types.Map:
+		markFieldTypes(t.Key(), protoTypes, sub, depth+1)
+		markFieldTypes(t.Elem(), protoTypes, sub, depth+1)
+	}
+}

@@ -2,7 +2,7 @@
 // the simulator's determinism and virtual-time invariants at vet
 // time, before they can cost a flaky benchmark gate.
 //
-// The suite (see Suite) ships seven analyzers:
+// The suite (see Suite) ships ten analyzers:
 //
 //   - walltime: no wall-clock time (time.Now, time.Sleep, ...) in
 //     simulation code — virtual time must come from internal/sim.
@@ -24,6 +24,23 @@
 //   - metricname: instrument names passed to the telemetry registry
 //     and the tracer's metric methods must be compile-time constants —
 //     runtime-assembled names make metric cardinality unbounded.
+//   - poolbalance: pooled values (netsim arena messages, pooled
+//     simulations from sim.Acquire, sync.Pool) must be released
+//     exactly once on every control-flow path or escape to an owner —
+//     a leaked message silently degrades the arena to allocation.
+//   - handlerexhaustive: every wire-message struct declared in a
+//     package's proto.go must be consumed by a payload type-switch or
+//     assertion, and every dispatch case must name a protocol type.
+//   - actorown: fields of actor structs (structs whose run loops are
+//     spawned via the sim kernel) may not be touched from outside the
+//     owning goroutine unless the access goes through the mailbox, a
+//     held mutex, an init-only field, or a *Locked-convention helper.
+//
+// The last three are flow-sensitive: they build intra-procedural CFGs
+// (internal/lint/cfg) and solve bitvector dataflow problems over
+// them, so diagnostics come with the leaking or unprotected path
+// rather than a textual tally. lockdiscipline also uses the CFG to
+// catch a conditionally deferred unlock followed by a manual unlock.
 //
 // False positives are suppressed in place with a reasoned directive:
 //
@@ -53,8 +70,9 @@ var (
 	// wallClockAllowed lists import-path prefixes where wall-clock
 	// time is legitimate: the CLI layer times real host work
 	// (benchmark wall columns, progress lines), and the lint driver
-	// itself is host-side tooling.
-	wallClockAllowed = []string{"repro/cmd/"}
+	// itself is host-side tooling (the CFG builder times its own
+	// builds for the CI summary).
+	wallClockAllowed = []string{"repro/cmd/", "repro/internal/lint"}
 
 	// actorPackages hold code that runs as simulation actors; every
 	// goroutine there must be spawned through the sim kernel.
@@ -78,6 +96,24 @@ var (
 		"repro/internal/netsim",
 		"repro/internal/trace",
 	}
+
+	// poolSources are the repo's arena/pool acquisition points for
+	// poolbalance ((*sync.Pool).Get is built in): every netsim Recv
+	// variant hands out an arena message the caller must Release, and
+	// sim.Acquire hands out a pooled Simulation.
+	poolSources = []string{
+		"(*repro/internal/netsim.Endpoint).Recv",
+		"(*repro/internal/netsim.Endpoint).RecvTimeout",
+		"(*repro/internal/netsim.Endpoint).RecvTag",
+		"(*repro/internal/netsim.Endpoint).RecvTagTimeout",
+		"(*repro/internal/netsim.Endpoint).RecvMatch",
+		"(*repro/internal/netsim.Endpoint).RecvMatchTimeout",
+		"repro/internal/sim.Acquire",
+	}
+
+	// spawnPrimitives are the kernel entry points actorown treats as
+	// goroutine spawns when inferring actor ownership.
+	spawnPrimitives = []string{"(*repro/internal/sim.Simulation).Go"}
 )
 
 // Suite returns the analyzers configured for this repository, in the
@@ -91,6 +127,9 @@ func Suite() []*analysis.Analyzer {
 		NewVTCtx(actorPackages...),
 		NewSpanBalance(),
 		NewMetricName(),
+		NewPoolBalance(poolSources...),
+		NewHandlerExhaustive(),
+		NewActorOwn(spawnPrimitives, actorPackages...),
 	}
 }
 

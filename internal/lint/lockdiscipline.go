@@ -7,6 +7,7 @@ import (
 	"go/types"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
 )
 
 // NewLockDiscipline returns the lockdiscipline analyzer for the
@@ -132,6 +133,175 @@ func checkLockScope(pass *analysis.Pass, body *ast.BlockStmt) {
 			pass.Reportf(u.lastDefer, "%d deferred %s.RUnlock() for %d %s.RLock()", u.deferRUnlock, key, u.rlocks, key)
 		}
 	}
+
+	checkDeferredDoubleUnlock(pass, body, uses, order)
+}
+
+// checkDeferredDoubleUnlock is the path-sensitive companion to the
+// textual defer tally above: a `defer mu.Unlock()` registered on one
+// branch followed by a manual `mu.Unlock()` on the fallthrough path
+// unlocks twice when that path returns — the counts balance, so only
+// a CFG can see it. Per mutex key we run a forward may-analysis with
+// two facts, "a deferred unlock is registered and the mutex is held"
+// and "... and the mutex has since been manually unlocked"; a Lock
+// moves the second state back to the first (the unlock/relock dance
+// around a blocking call is legal), so reaching function exit in the
+// unlocked state is exactly the panic.
+func checkDeferredDoubleUnlock(pass *analysis.Pass, body *ast.BlockStmt, uses map[string]*lockUse, order []string) {
+	type vkey struct {
+		key  string
+		read bool
+	}
+	var keys []vkey
+	idx := map[vkey]int{}
+	for _, k := range order {
+		u := uses[k]
+		if u.deferUnl > 0 && u.unlocks > u.deferUnl {
+			idx[vkey{k, false}] = len(keys)
+			keys = append(keys, vkey{k, false})
+		}
+		if u.deferRUnlock > 0 && u.runlocks > u.deferRUnlock {
+			idx[vkey{k, true}] = len(keys)
+			keys = append(keys, vkey{k, true})
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	held := func(i int) int { return 2 * i }
+	unheld := func(i int) int { return 2*i + 1 }
+
+	const (
+		opDeferUnlock = iota
+		opManualUnlock
+		opLock
+		opTryLock
+	)
+	type lockOp struct {
+		i, kind int
+	}
+
+	g := cfg.New(body, cfg.Options{})
+	ops := make([][]lockOp, len(g.Blocks))
+	firstDefer := make([]token.Pos, len(keys))
+	classify := func(method string) (read bool, kind int, ok bool) {
+		switch method {
+		case "Lock":
+			return false, opLock, true
+		case "TryLock":
+			return false, opTryLock, true
+		case "RLock":
+			return true, opLock, true
+		case "TryRLock":
+			return true, opTryLock, true
+		case "Unlock":
+			return false, opManualUnlock, true
+		case "RUnlock":
+			return true, opManualUnlock, true
+		}
+		return false, 0, false
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			scanLockOps(pass, n, func(method, key string, deferred bool, call *ast.CallExpr) {
+				read, kind, ok := classify(method)
+				if !ok {
+					return
+				}
+				i, tracked := idx[vkey{key, read}]
+				if !tracked {
+					return
+				}
+				if deferred && kind == opManualUnlock {
+					kind = opDeferUnlock
+					if firstDefer[i] == token.NoPos || call.Pos() < firstDefer[i] {
+						firstDefer[i] = call.Pos()
+					}
+				}
+				ops[b.Index] = append(ops[b.Index], lockOp{i, kind})
+			})
+		}
+	}
+
+	res := cfg.Solve(g, cfg.Problem{
+		Dir:      cfg.Forward,
+		May:      true,
+		NumFacts: 2 * len(keys),
+		Transfer: func(b *cfg.Block, facts cfg.Bits) {
+			for _, op := range ops[b.Index] {
+				switch op.kind {
+				case opDeferUnlock:
+					facts.Set(held(op.i))
+				case opManualUnlock:
+					if facts.Has(held(op.i)) {
+						facts.Clear(held(op.i))
+						facts.Set(unheld(op.i))
+					}
+				case opLock:
+					if facts.Has(unheld(op.i)) {
+						facts.Clear(unheld(op.i))
+						facts.Set(held(op.i))
+					}
+				case opTryLock:
+					// The attempt may fail: the unlocked state
+					// survives alongside the relocked one.
+					if facts.Has(unheld(op.i)) {
+						facts.Set(held(op.i))
+					}
+				}
+			}
+		},
+	})
+
+	atExit := res.In[g.Exit.Index]
+	for i, vk := range keys {
+		if !atExit.Has(unheld(i)) || firstDefer[i] == token.NoPos {
+			continue
+		}
+		unl, lk := "Unlock", "Lock"
+		if vk.read {
+			unl, lk = "RUnlock", "RLock"
+		}
+		pass.Reportf(firstDefer[i],
+			"deferred %s.%s() runs after %s is already unlocked on some path: a manual %s.%s() follows this defer with no %s.%s() before return, so the defer panics",
+			vk.key, unl, vk.key, vk.key, unl, vk.key, lk)
+	}
+}
+
+// scanLockOps reports every mutex operation inside n in source order,
+// marking operations registered via defer. Function literals are
+// their own lock scopes and are skipped; defer argument expressions
+// are evaluated immediately, so calls inside them count as direct.
+func scanLockOps(pass *analysis.Pass, n ast.Node, fn func(method, key string, deferred bool, call *ast.CallExpr)) {
+	var scan func(ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt:
+				// A range.head block carries the whole RangeStmt,
+				// but only the ranged-over expression evaluates
+				// there — the body belongs to other blocks.
+				scan(x.X)
+				return false
+			case *ast.DeferStmt:
+				if m, k := lockMethod(pass, x.Call); m != "" {
+					fn(m, k, true, x.Call)
+				}
+				for _, arg := range x.Call.Args {
+					scan(arg)
+				}
+				return false
+			case *ast.CallExpr:
+				if m, k := lockMethod(pass, x); m != "" {
+					fn(m, k, false, x)
+				}
+			}
+			return true
+		})
+	}
+	scan(n)
 }
 
 // inspectScope walks body without descending into nested function

@@ -1,0 +1,7 @@
+// Package actorsim is a stand-in simulation kernel for the actorown
+// fixture: Sim.Go is the configured spawn primitive.
+package actorsim
+
+type Sim struct{}
+
+func (s *Sim) Go(name string, fn func()) { go fn() }

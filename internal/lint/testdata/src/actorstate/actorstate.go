@@ -1,0 +1,164 @@
+// Package actorstate exercises the actorown analyzer. actorsim.Sim.Go
+// is configured as the spawn primitive in the test.
+package actorstate
+
+import (
+	"sync"
+
+	"actorsim"
+)
+
+// Worker is a single-owner actor: one run loop spawned from Start.
+type Worker struct {
+	sim     *actorsim.Sim
+	mu      sync.Mutex
+	inbox   chan int // mailbox: channel fields are sync-safe
+	seq     int      // owner state
+	guarded int      // cross-goroutine state, guarded by mu
+	cfg     string   // init-only: written before the spawn
+}
+
+func NewWorker(sim *actorsim.Sim) *Worker {
+	return &Worker{sim: sim, inbox: make(chan int, 8), cfg: "default"}
+}
+
+func (w *Worker) Start() {
+	w.seq = 0 // initialization context: the owner does not exist yet
+	w.sim.Go("worker", func() {
+		for v := range w.inbox {
+			w.seq += v // owner context: exclusive access
+			w.mu.Lock()
+			w.guarded = w.seq
+			w.mu.Unlock()
+		}
+	})
+}
+
+// Push goes through the mailbox: fine from any goroutine.
+func (w *Worker) Push(v int) { w.inbox <- v }
+
+// Config reads init-only state: frozen before the spawn, fine.
+func (w *Worker) Config() string { return w.cfg }
+
+// Guarded holds the mutex the owner also takes: fine.
+func (w *Worker) Guarded() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.guarded
+}
+
+// Peek bypasses both the mailbox and the mutex.
+func (w *Worker) Peek() int {
+	return w.seq // want `field seq of actor struct Worker accessed in \(\*Worker\)\.Peek without its mutex held`
+}
+
+// Unguarded reads mutex-managed state without the mutex.
+func (w *Worker) Unguarded() int {
+	return w.guarded // want `field guarded of actor struct Worker accessed in \(\*Worker\)\.Unguarded`
+}
+
+// Racy holds the mutex on only one path: a must-analysis over the
+// CFG sees the unprotected path.
+func (w *Worker) Racy(b bool) int {
+	if b {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+	}
+	return w.guarded // want `field guarded of actor struct Worker accessed in \(\*Worker\)\.Racy`
+}
+
+// LoopGuarded locks inside each loop iteration. The range head's
+// span covers the whole body, so the analysis must attribute each
+// access to its own statement, where the mutex is held.
+func (w *Worker) LoopGuarded(vs []int) int {
+	t := 0
+	for _, v := range vs {
+		w.mu.Lock()
+		w.guarded += v
+		t += w.guarded
+		w.mu.Unlock()
+	}
+	return t
+}
+
+// PreLoopLock holds the mutex across the whole loop: accesses in the
+// body are covered by the lock taken before the range head.
+func (w *Worker) PreLoopLock(vs []int) int {
+	w.mu.Lock()
+	t := 0
+	for _, v := range vs {
+		t += w.guarded + v
+	}
+	w.mu.Unlock()
+	return t
+}
+
+// CondThenLoop mixes an early unlock-and-return branch with a locked
+// loop: every path reaching the body holds the mutex.
+func (w *Worker) CondThenLoop(vs []int, b bool) int {
+	w.mu.Lock()
+	if b {
+		w.mu.Unlock()
+		return 0
+	}
+	t := 0
+	for _, v := range vs {
+		t += w.guarded + v
+	}
+	w.mu.Unlock()
+	return t
+}
+
+// LoopEarlyExit unlocks on a bail-out branch inside the body. The
+// range head carries the whole RangeStmt node, so the body's unlock
+// must not leak into the head's transfer: the fall-through
+// iterations still hold the mutex.
+func (w *Worker) LoopEarlyExit(vs []int) int {
+	w.mu.Lock()
+	t := 0
+	for _, v := range vs {
+		if v < 0 {
+			w.mu.Unlock()
+			return 0
+		}
+		t += w.guarded
+	}
+	w.mu.Unlock()
+	return t
+}
+
+// TestOnly documents deliberate exclusivity with a reasoned ignore.
+func (w *Worker) TestOnly() int {
+	//lint:ignore actorown test hook, the harness never runs it concurrently with Start
+	return w.seq
+}
+
+// Pool is a multi-owner actor: N run loops spawned in a loop, so
+// even owner-context accesses must hold the mutex.
+type Pool struct {
+	sim  *actorsim.Sim
+	mu   sync.Mutex
+	jobs map[int]int
+	next int
+}
+
+func NewPool(sim *actorsim.Sim) *Pool {
+	return &Pool{sim: sim, jobs: map[int]int{}}
+}
+
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		p.sim.Go("pool", p.run)
+	}
+}
+
+func (p *Pool) run() {
+	p.mu.Lock()
+	p.next++ // owner context, but multi-owner: the lock makes it fine
+	p.mu.Unlock()
+	p.bump()
+}
+
+func (p *Pool) bump() {
+	p.next++ // want `field next of actor struct Pool accessed in \(\*Pool\)\.bump without its mutex held; reachable from a concurrent owner goroutine`
+}

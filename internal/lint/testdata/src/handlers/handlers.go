@@ -1,0 +1,41 @@
+// Package handlers exercises the handlerexhaustive analyzer.
+package handlers
+
+// Message is the envelope: dispatch happens on its Payload.
+type Message struct{ Payload any }
+
+// Notice is exported but deliberately not declared in proto.go: a
+// dispatch case over it is a stray arm.
+type Notice struct{}
+
+// stopMsg is an unexported control token; dispatching on it is fine.
+type stopMsg struct{}
+
+func handle(m *Message) any {
+	switch req := m.Payload.(type) {
+	case PingReq:
+		return PingResp{Seq: req.Seq}
+	case stopMsg:
+		return nil
+	case Notice: // want `payload dispatch case Notice is not declared in this package's proto\.go`
+		return nil
+	}
+	return nil
+}
+
+// PingResp is consumed by assertion on the client side, StatusReq by
+// a switch with an assigned binding: both consumption forms count.
+func await(m *Message) int {
+	if resp, ok := m.Payload.(PingResp); ok {
+		return resp.Seq
+	}
+	return -1
+}
+
+func route(m *Message) bool {
+	switch m.Payload.(type) {
+	case StatusReq:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+// The protocol file of the handlers fixture: every struct declared
+// here is a wire message and must be dispatched somewhere in the
+// package.
+package handlers
+
+type PingReq struct{ Seq int }
+
+type PingResp struct{ Seq int }
+
+type StatusReq struct{ Detail DetailSpec }
+
+// DetailSpec rides inside StatusReq: a sub-message, not an envelope,
+// so it needs no dispatch case of its own.
+type DetailSpec struct{ Verbose bool }
+
+type OrphanMsg struct{} // want `message OrphanMsg is declared in proto.go but no payload type-switch or assertion in package handlers consumes it`
+
+// CrossPkgMsg is consumed by a peer package this fixture cannot see;
+// the suppression documents the consumer.
+//
+//lint:ignore handlerexhaustive consumed by the remotehandlers package's dispatch loop
+type CrossPkgMsg struct{}

@@ -54,6 +54,56 @@ func deferredDouble(c *counter) {
 	defer c.mu.Unlock() // want `2 deferred c\.mu\.Unlock\(\) for 1 c\.mu\.Lock\(\)`
 }
 
+// condDeferThenManual registers the deferred unlock on only one
+// branch; the manual unlock on the fallthrough then double-unlocks
+// when that path returns and the defer fires. The textual tally is
+// balanced — only the CFG sees it.
+func condDeferThenManual(c *counter, flush bool) {
+	c.mu.Lock()
+	if flush {
+		defer c.mu.Unlock() // want `deferred c\.mu\.Unlock\(\) runs after c\.mu is already unlocked on some path`
+		c.n++
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func condDeferThenManualRead(r *registry, cached bool) int {
+	r.mu.RLock()
+	if cached {
+		defer r.mu.RUnlock() // want `deferred r\.mu\.RUnlock\(\) runs after r\.mu is already unlocked on some path`
+	}
+	n := len(r.items)
+	r.mu.RUnlock()
+	return n
+}
+
+// condDeferHandoff is the clean shape: the defer path returns before
+// the manual unlock, so no path unlocks twice.
+func condDeferHandoff(c *counter, fast bool) int {
+	c.mu.Lock()
+	if fast {
+		defer c.mu.Unlock()
+		return c.n
+	}
+	n := c.n * 2
+	c.mu.Unlock()
+	return n
+}
+
+// unlockRelockDance releases the mutex around the loop body and
+// relocks before every exit, so the deferred unlock always fires
+// with the mutex held.
+func unlockRelockDance(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.n < 10 {
+		c.mu.Unlock()
+		c.n++
+		c.mu.Lock()
+	}
+}
+
 func byValueParam(c counter) int { // want `parameter passes a lock by value`
 	return c.n
 }

@@ -165,6 +165,8 @@ type DynFreeResp struct {
 
 // SchedKick tells the scheduler that server state changed (new job,
 // completion, dynamic request). Reason is diagnostic.
+//
+//lint:ignore handlerexhaustive dispatched by the maui and fifosched scheduler loops, not in this package
 type SchedKick struct {
 	Reason string
 }
@@ -187,6 +189,8 @@ type SchedDynView struct {
 }
 
 // SchedInfoResp carries everything one scheduling iteration needs.
+//
+//lint:ignore handlerexhaustive consumed by the maui and fifosched schedulers, which fetch and Release it
 type SchedInfoResp struct {
 	ReqID   int
 	Queued  []JobInfo      // jobs waiting for allocation, submission order
