@@ -228,6 +228,14 @@ func BenchmarkHistogramRecord(b *testing.B) { kernelbench.HistogramRecord(b) }
 // representative telemetry instrument mix.
 func BenchmarkRegistryScrape(b *testing.B) { kernelbench.RegistryScrape(b) }
 
+// BenchmarkAuditRecordDisabled measures the recorder-disabled audit
+// hot path (nil recorder, pinned at 0 allocs/op).
+func BenchmarkAuditRecordDisabled(b *testing.B) { kernelbench.AuditRecordDisabled(b) }
+
+// BenchmarkAuditRecordEnabled measures one in-place ring-slot write
+// on the enabled audit hot path.
+func BenchmarkAuditRecordEnabled(b *testing.B) { kernelbench.AuditRecordEnabled(b) }
+
 // BenchmarkSimSleepEvents measures the event-queue throughput of the
 // virtual-time kernel.
 func BenchmarkSimSleepEvents(b *testing.B) {

@@ -146,6 +146,30 @@ func record(trials int, scaleSizes, shardedSizes []int) (*Report, error) {
 		}
 	}
 
+	// The audited rung: the smallest ladder point rerun with the
+	// flight recorder, invariant engine, and digest ticker attached.
+	// Recording costs no virtual time, so these series must sit on
+	// top of the unaudited scale/cns=8 ones — the compare gate holds
+	// the recorder's simulation-visible overhead at zero.
+	if len(scaleSizes) > 0 {
+		n := scaleSizes[0]
+		if err := wall(fmt.Sprintf("scale_audited/cns=%d", n), func() error {
+			pts, err := repro.ScaleAudited(params, []int{n}, repro.ServerFaithful)
+			if err != nil {
+				return err
+			}
+			if b := repro.AuditBreaches(pts); b != 0 {
+				return fmt.Errorf("audited scale: %d invariant breaches", b)
+			}
+			pt := pts[0]
+			rep.Series[fmt.Sprintf("scale_audited/cycle_mean/cns=%d", pt.ComputeNodes)] = vms(pt.CycleMean)
+			rep.Series[fmt.Sprintf("scale_audited/makespan/cns=%d", pt.ComputeNodes)] = vms(pt.Makespan)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	// The sharded-server rungs of the ladder: same workload through the
 	// partitioned pbs_server and Maui cycle, recorded as their own
 	// series so the ablation's virtual times are gated alongside the
@@ -179,6 +203,8 @@ func record(trials int, scaleSizes, shardedSizes []int) (*Report, error) {
 		{"kernel/netsim_hop", kernelbench.NetsimHop},
 		{"telemetry/hist_record", kernelbench.HistogramRecord},
 		{"telemetry/registry_scrape", kernelbench.RegistryScrape},
+		{"audit/record_disabled", kernelbench.AuditRecordDisabled},
+		{"audit/record_enabled", kernelbench.AuditRecordEnabled},
 	} {
 		r := testing.Benchmark(kb.fn)
 		rep.Allocs[kb.name] = float64(r.AllocsPerOp())

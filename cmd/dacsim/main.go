@@ -10,6 +10,8 @@
 //	dacsim -fig 8 -csv         # machine-readable output
 //	dacsim -fig breakdown -capture prof   # profiler captures for dacprof
 //	dacsim -fig slo -scrape-out scrape    # live telemetry scrapes + SLO compliance
+//	dacsim -fig scale -audit              # flight recorder + invariant engine on
+//	dacsim -fig scale -audit -audit-out rec -seed 1   # recordings for dacaudit
 package main
 
 import (
@@ -36,12 +38,16 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of every simulated run to this file")
 	captureOut := flag.String("capture", "", "with -fig breakdown: write one profiler capture (JSONL, readable by dacprof) per cluster size to PREFIX-<nodes>.jsonl")
 	scrapeOut := flag.String("scrape-out", "", "with -fig slo: write the scrape series (JSONL, readable by dacstat) and the Prometheus exposition per cluster size to PREFIX-<nodes>.jsonl / PREFIX-<nodes>.prom")
+	auditOn := flag.Bool("audit", false, "with -fig scale: attach a flight recorder per ladder point, check invariants at every scheduler cycle, and capture state digests; exits non-zero on any breach")
+	auditOut := flag.String("audit-out", "", "with -audit: write each point's recording (JSONL, readable by dacaudit) to PREFIX-<nodes>.jsonl")
+	seed := flag.Uint64("seed", 0, "workload/jitter seed; 0 reproduces the historical figures byte for byte, distinct seeds give dacaudit -diff distinct recordings")
 	showMetrics := flag.Bool("metrics", false, "print the tracer's metrics summary (span latencies, counters, gauges) after the figures")
 	flag.Parse()
 
 	repro.SetParallelism(*parallel)
 	params := repro.DefaultParams()
 	params.LatencyJitter = *jitter
+	params.Seed = *seed
 	var tracer *repro.Tracer
 	if *traceOut != "" || *showMetrics {
 		tracer = repro.NewTracer()
@@ -111,6 +117,43 @@ func main() {
 		return sizes
 	}
 	runScale := func() {
+		if *auditOn {
+			apts, err := repro.ScaleAudited(params, ladder(), mode)
+			if err != nil {
+				log.Fatalf("dacsim: scale: %v", err)
+			}
+			pts := make([]repro.ScalePoint, len(apts))
+			for i := range apts {
+				pts[i] = apts[i].ScalePoint
+			}
+			if mode == repro.ServerSharded {
+				emit(repro.ScaleShardedTable(pts))
+			} else {
+				emit(repro.ScaleTable(pts))
+			}
+			emit(repro.AuditTable(apts))
+			if *auditOut != "" {
+				prefix := strings.TrimSuffix(*auditOut, ".jsonl")
+				for i := range apts {
+					path := fmt.Sprintf("%s-%d.jsonl", prefix, apts[i].ComputeNodes)
+					f, err := os.Create(path)
+					if err != nil {
+						log.Fatalf("dacsim: audit-out: %v", err)
+					}
+					if err := repro.WriteAuditRecording(f, apts[i].Events); err != nil {
+						log.Fatalf("dacsim: audit-out: %v", err)
+					}
+					if err := f.Close(); err != nil {
+						log.Fatalf("dacsim: audit-out: %v", err)
+					}
+					fmt.Fprintf(os.Stderr, "dacsim: wrote %d audit events to %s\n", len(apts[i].Events), path)
+				}
+			}
+			if n := repro.AuditBreaches(apts); n != 0 {
+				log.Fatalf("dacsim: audit: %d invariant breaches (see the recording for kind=breach events)", n)
+			}
+			return
+		}
 		pts, err := repro.ScaleMode(params, ladder(), mode)
 		if err != nil {
 			log.Fatalf("dacsim: scale: %v", err)
@@ -280,6 +323,12 @@ func main() {
 	}
 	if *scrapeOut != "" && *fig != "slo" {
 		log.Fatalf("dacsim: -scrape-out requires -fig slo (per-size private registries)")
+	}
+	if *auditOn && *fig != "scale" {
+		log.Fatalf("dacsim: -audit requires -fig scale (per-point flight recorders)")
+	}
+	if *auditOut != "" && !*auditOn {
+		log.Fatalf("dacsim: -audit-out requires -audit")
 	}
 	start := time.Now()
 	switch *fig {

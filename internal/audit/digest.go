@@ -1,0 +1,104 @@
+package audit
+
+import "sort"
+
+// Digest accumulates a deterministic 64-bit FNV-1a hash over a
+// component's state. Providers must feed it in a deterministic order
+// — sorted map keys, never wall-clock values — which the digestdet
+// daclint analyzer enforces for every function that takes a *Digest.
+// Field writes are length-delimited so concatenations cannot collide
+// ("ab","c" vs "a","bc").
+type Digest struct {
+	h uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newDigest() *Digest { return &Digest{h: fnvOffset64} }
+
+func (d *Digest) byte(b byte) {
+	d.h = (d.h ^ uint64(b)) * fnvPrime64
+}
+
+// WriteString hashes s followed by its length as a delimiter.
+func (d *Digest) WriteString(s string) {
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+	d.WriteUint(uint64(len(s)))
+}
+
+// WriteUint hashes v as eight little-endian bytes.
+func (d *Digest) WriteUint(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.byte(byte(v >> (8 * i)))
+	}
+}
+
+// WriteInt hashes v as eight little-endian bytes.
+func (d *Digest) WriteInt(v int64) { d.WriteUint(uint64(v)) }
+
+// WriteBool hashes a single 0/1 byte.
+func (d *Digest) WriteBool(v bool) {
+	if v {
+		d.byte(1)
+	} else {
+		d.byte(0)
+	}
+}
+
+// Sum returns the accumulated hash.
+func (d *Digest) Sum() uint64 { return d.h }
+
+// RegisterDigest installs a named digest provider for a component.
+// The provider runs at every capture round with a fresh Digest; it
+// must produce identical sums for identical component state (the
+// basis of the cross-parallelism and cross-mode identity gates).
+// Registering an existing name replaces the provider.
+func (r *Recorder) RegisterDigest(comp, name string, fn func(*Digest)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.srcMu.Lock()
+	r.sources[name] = digestSource{comp: comp, fn: fn}
+	r.srcMu.Unlock()
+}
+
+// CaptureDigests runs every registered provider in sorted name order
+// and records one KindDigest event per provider: Subj is the digest
+// name, A the hash sum, B the capture round. It returns the round
+// index.
+func (r *Recorder) CaptureDigests() int64 {
+	if r == nil {
+		return 0
+	}
+	round := r.captures.Add(1) - 1
+	r.srcMu.Lock()
+	names := make([]string, 0, len(r.sources))
+	for name := range r.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	srcs := make([]digestSource, len(names))
+	for i, name := range names {
+		srcs[i] = r.sources[name]
+	}
+	r.srcMu.Unlock()
+	for i, name := range names {
+		d := newDigest()
+		srcs[i].fn(d)
+		r.Record(KindDigest, srcs[i].comp, name, "digest", int64(d.Sum()), round)
+	}
+	return round
+}
+
+// DigestCaptures reports how many capture rounds have run.
+func (r *Recorder) DigestCaptures() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.captures.Load()
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/dac"
 	"repro/internal/maui"
 	"repro/internal/mpi"
@@ -65,6 +66,14 @@ type Params struct {
 	// instruments at construction. Scrape it with telemetry.NewScraper
 	// over the simulation's clock. Nil disables telemetry at no cost.
 	Telemetry *telemetry.Registry
+
+	// Audit, when non-nil, is installed on the simulation before any
+	// daemon is built, so every layer records state-delta events into
+	// the flight recorder, registers its state digests, and runs the
+	// cycle-boundary invariant checks. Nil disables auditing at no
+	// cost. Drive periodic digests with audit.NewTicker over the
+	// simulation's clock.
+	Audit *audit.Recorder
 }
 
 // SchedulerDaemon is what the cluster needs from a scheduler: a
@@ -146,6 +155,9 @@ func New(s *sim.Simulation, p Params) *Cluster {
 	}
 	if p.Telemetry != nil {
 		s.SetTelemetry(p.Telemetry)
+	}
+	if p.Audit != nil {
+		s.SetAudit(p.Audit)
 	}
 	net := netsim.New(s, netsim.LinkParams{
 		Latency:       p.NetLatency,

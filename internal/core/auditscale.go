@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// The audited scale ladder runs the same per-point bodies as Scale
+// with a flight recorder attached to each point's simulation: every
+// state mutation in pbs, maui, netsim, gpusim, and the DAC library
+// emits a structured event into the ring, the pbs invariant engine
+// checks resource conservation at every scheduler cycle, and a digest
+// ticker hashes each component's state on the telemetry scrape
+// cadence. Because each ladder point owns its simulation, its
+// recording is byte-identical across trial-parallelism levels — the
+// property the cross-parallelism identity test and the CI audit smoke
+// step pin.
+
+// AuditCapacity is the per-point flight-recorder ring size. The
+// largest default ladder point (256 nodes, 2048 jobs) emits well
+// under this many events, so default recordings never wrap.
+const AuditCapacity = 1 << 18
+
+// AuditedPoint couples a scale-ladder row with the flight recording
+// that watched it.
+type AuditedPoint struct {
+	ScalePoint
+
+	// Events is the recorded event stream (oldest first).
+	Events []audit.Event
+	// Checks and Breaches count invariant evaluations and failures.
+	Checks   int64
+	Breaches int64
+	// Dropped counts events lost to ring wrap (0 on default ladders).
+	Dropped int64
+	// Rounds counts digest capture rounds (the ticker's periodic
+	// captures plus the final capture at drain).
+	Rounds int64
+}
+
+// FinalDigests returns the last captured sum per digest provider —
+// the end-of-run state fingerprint used by the faithful-vs-sharded
+// identity gate.
+func (a *AuditedPoint) FinalDigests() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, e := range a.Events {
+		if e.Kind == audit.KindDigest {
+			out[e.Subj] = uint64(e.A)
+		}
+	}
+	return out
+}
+
+// ScaleAudited runs the scale ladder under the chosen server mode
+// with a flight recorder per point. The recorder rides alongside the
+// figures the unaudited ladder reports: the rows come from exactly
+// the code path ScaleMode runs, with auditing layered on top.
+func ScaleAudited(p cluster.Params, sizes []int, mode ServerMode) ([]AuditedPoint, error) {
+	if len(sizes) == 0 {
+		sizes = ScaleSizes
+	}
+	out := make([]AuditedPoint, len(sizes))
+	err := forEach(len(sizes), func(idx int) error {
+		n := sizes[idx]
+		if n < 1 {
+			return fmt.Errorf("core: ScaleAudited size %d", n)
+		}
+		rec := audit.New(AuditCapacity)
+		var pt ScalePoint
+		var err error
+		if mode == ServerSharded {
+			pt, err = scalePointSharded(p, n, rec)
+		} else {
+			pt, err = scalePointFaithful(p, n, rec)
+		}
+		if err != nil {
+			return err
+		}
+		out[idx] = AuditedPoint{
+			ScalePoint: pt,
+			Events:     rec.Events(),
+			Checks:     rec.Checks(),
+			Breaches:   rec.Breaches(),
+			Dropped:    rec.Dropped(),
+			Rounds:     rec.DigestCaptures(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AuditBreaches sums invariant breaches across a set of audited
+// points (the CI smoke step asserts this is zero).
+func AuditBreaches(points []AuditedPoint) int64 {
+	var total int64
+	for i := range points {
+		total += points[i].Breaches
+	}
+	return total
+}
+
+// AuditTable renders the per-point audit counters alongside the
+// ladder row they watched.
+func AuditTable(points []AuditedPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title: "Audit: flight-recorder events, invariant checks, and digest rounds per ladder point",
+		Headers: []string{"compute_nodes", "jobs", "events", "dropped",
+			"checks", "breaches", "digest_rounds", "makespan_ms"},
+	}
+	for i := range points {
+		pt := &points[i]
+		t.AddRow(
+			fmt.Sprint(pt.ComputeNodes), fmt.Sprint(pt.Jobs),
+			fmt.Sprint(len(pt.Events)), fmt.Sprint(pt.Dropped),
+			fmt.Sprint(pt.Checks), fmt.Sprint(pt.Breaches),
+			fmt.Sprint(pt.Rounds), metrics.Ms(pt.Makespan),
+		)
+	}
+	return t
+}

@@ -74,7 +74,7 @@ func BreakdownMode(p cluster.Params, sizes []int, mode ServerMode, capture func(
 		tr := trace.New()
 		tp.Tracer = tr
 		jobs := n * JobsPerCN
-		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode, p.Seed)), tp.CoresPerNode)
 		if err != nil {
 			return fmt.Errorf("core: Breakdown n=%d: %w", n, err)
 		}

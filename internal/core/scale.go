@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/dac"
 	"repro/internal/metrics"
@@ -126,12 +127,15 @@ const (
 // cluster of n compute nodes: jobs arrive over a fixed submission
 // window with runtimes, widths, and estimates drawn from a
 // deterministic LCG, so every run of the experiment sees the same
-// trace. Emitting SWF text and parsing it back through ParseSWF
-// exercises the same import path a production trace would use.
-func scaleWorkloadSWF(n, jobs, coresPerNode int) string {
+// trace. seed perturbs the stream (seed 0 reproduces the historical
+// trace byte for byte); distinct seeds give the two-seed recordings
+// the audit diff in CI compares. Emitting SWF text and parsing it
+// back through ParseSWF exercises the same import path a production
+// trace would use.
+func scaleWorkloadSWF(n, jobs, coresPerNode int, seed uint64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "; synthetic scale workload: %d jobs for %d compute nodes\n", jobs, n)
-	state := uint64(n)*2654435761 + 12345
+	state := (uint64(n)+seed)*2654435761 + 12345
 	next := func(mod int) int {
 		state = state*6364136223846793005 + 1442695040888963407
 		return int((state >> 33) % uint64(mod))
@@ -161,7 +165,7 @@ func scaleParams(p cluster.Params, n int) cluster.Params {
 	tp := p
 	tp.ComputeNodes = n
 	tp.Accelerators = n * ACsPerCN
-	tp.Seed = uint64(n)
+	tp.Seed = uint64(n) + p.Seed
 	tp.Maui.CycleInterval = 250 * time.Millisecond
 	tp.Maui.CycleOverhead = 10 * time.Millisecond
 	tp.Maui.PerJobCost = 200 * time.Microsecond
@@ -196,9 +200,9 @@ func ScaleMode(p cluster.Params, sizes []int, mode ServerMode) ([]ScalePoint, er
 		}
 		var err error
 		if mode == ServerSharded {
-			out[idx], err = scalePointSharded(p, n)
+			out[idx], err = scalePointSharded(p, n, nil)
 		} else {
-			out[idx], err = scalePointFaithful(p, n)
+			out[idx], err = scalePointFaithful(p, n, nil)
 		}
 		return err
 	})
@@ -210,11 +214,13 @@ func ScaleMode(p cluster.Params, sizes []int, mode ServerMode) ([]ScalePoint, er
 
 // scalePointFaithful is the original per-point body of Scale,
 // unchanged: one probe job measures a single dynamic request under
-// full load.
-func scalePointFaithful(p cluster.Params, n int) (ScalePoint, error) {
+// full load. A non-nil rec attaches the flight recorder to the
+// point's simulation and digests its state on the scrape cadence.
+func scalePointFaithful(p cluster.Params, n int, rec *audit.Recorder) (ScalePoint, error) {
 	tp := scaleParams(p, n)
+	tp.Audit = rec
 	jobs := n * JobsPerCN
-	entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+	entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode, p.Seed)), tp.CoresPerNode)
 	if err != nil {
 		return ScalePoint{}, fmt.Errorf("core: Scale n=%d: %w", n, err)
 	}
@@ -222,12 +228,14 @@ func scalePointFaithful(p cluster.Params, n int) (ScalePoint, error) {
 	s := sim.Acquire()
 	defer s.Release()
 	c := cluster.New(s, tp)
+	tick := audit.NewTicker(rec, s, SLOScrapeInterval)
 	var pt ScalePoint
 	var ptMu sync.Mutex
 	probeReady := newSignal(s, "scale-ready")
 	goahead := newSignal(s, "scale-go")
 	runErr := s.Run(func() {
 		defer c.Close()
+		tick.Start()
 		c.Start()
 		client := c.Client("front")
 
@@ -271,6 +279,7 @@ func scalePointFaithful(p cluster.Params, n int) (ScalePoint, error) {
 			client.Wait(id)
 		}
 		client.Wait(probeID)
+		tick.Stop()
 		ptMu.Lock()
 		pt.Makespan = s.Now()
 		if c.Sched != nil {
@@ -317,13 +326,14 @@ const (
 // and scheduler. A private telemetry registry instruments the run;
 // the row reports the prober stream's dyn-latency p50/p99 and the
 // mean per-shard busy fraction alongside the faithful columns.
-func scalePointSharded(p cluster.Params, n int) (ScalePoint, error) {
+func scalePointSharded(p cluster.Params, n int, rec *audit.Recorder) (ScalePoint, error) {
 	tp := scaleParams(p, n)
 	applyShardedParams(&tp, n)
 	reg := telemetry.New()
 	tp.Telemetry = reg
+	tp.Audit = rec
 	jobs := n * JobsPerCN
-	entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+	entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode, p.Seed)), tp.CoresPerNode)
 	if err != nil {
 		return ScalePoint{}, fmt.Errorf("core: Scale n=%d: %w", n, err)
 	}
@@ -331,6 +341,7 @@ func scalePointSharded(p cluster.Params, n int) (ScalePoint, error) {
 	s := sim.Acquire()
 	defer s.Release()
 	c := cluster.New(s, tp)
+	tick := audit.NewTicker(rec, s, SLOScrapeInterval)
 	probers := scaleProbers(n)
 	var pt ScalePoint
 	var ptMu sync.Mutex
@@ -341,6 +352,7 @@ func scalePointSharded(p cluster.Params, n int) (ScalePoint, error) {
 	goahead := newSignal(s, "scale-go")
 	runErr := s.Run(func() {
 		defer c.Close()
+		tick.Start()
 		c.Start()
 		client := c.Client("front")
 
@@ -403,6 +415,7 @@ func scalePointSharded(p cluster.Params, n int) (ScalePoint, error) {
 		for _, id := range proberIDs {
 			client.Wait(id)
 		}
+		tick.Stop()
 		ptMu.Lock()
 		pt.Makespan = s.Now()
 		if c.Sched != nil {

@@ -56,8 +56,8 @@ func TestScaleTableRenders(t *testing.T) {
 // The synthetic scale workload must round-trip through the SWF
 // importer exactly once per job, deterministically.
 func TestScaleWorkloadSWFDeterministic(t *testing.T) {
-	a := scaleWorkloadSWF(16, 128, 8)
-	b := scaleWorkloadSWF(16, 128, 8)
+	a := scaleWorkloadSWF(16, 128, 8, 0)
+	b := scaleWorkloadSWF(16, 128, 8, 0)
 	if a != b {
 		t.Fatal("scale workload not deterministic")
 	}

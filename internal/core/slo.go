@@ -101,7 +101,7 @@ func SLO(p cluster.Params, sizes []int) ([]SLOPoint, error) {
 		reg := telemetry.New()
 		tp.Telemetry = reg
 		jobs := n * JobsPerCN
-		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode)), tp.CoresPerNode)
+		entries, err := workload.ParseSWF(strings.NewReader(scaleWorkloadSWF(n, jobs, tp.CoresPerNode, p.Seed)), tp.CoresPerNode)
 		if err != nil {
 			return fmt.Errorf("core: SLO n=%d: %w", n, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/mpi"
 	"repro/internal/pbs"
 	"repro/internal/telemetry"
@@ -256,6 +257,7 @@ func (ac *AC) Get(count int) (int, []*Accel, error) {
 	ac.setAt[grant.ClientID] = ac.ctx.Sim.Now()
 	ac.stats.Gets = append(ac.stats.Gets, GetStat{Count: count, Batch: batch, MPI: mpiT})
 	ac.mu.Unlock()
+	ac.ctx.Sim.Audit().Record(audit.KindAlloc, "dac", ac.env.JobID, "attach", int64(len(handles)), int64(grant.ClientID))
 	ac.inst.attach.Add(int64(len(handles)))
 	ac.inst.attached.Add(float64(len(handles)))
 	return grant.ClientID, handles, nil
@@ -353,6 +355,7 @@ func (ac *AC) releaseLocal(clientID int) error {
 	delete(ac.sets, clientID)
 	heldFor := ac.ctx.Sim.Now() - ac.setAt[clientID]
 	delete(ac.setAt, clientID)
+	ac.ctx.Sim.Audit().Record(audit.KindRelease, "dac", ac.env.JobID, "detach", int64(len(ids)), int64(clientID))
 	comm := ac.comm
 	released := make(map[int]bool, len(ids))
 	for _, id := range ids {

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/sim"
 )
 
@@ -89,6 +90,9 @@ type Device struct {
 	name string
 	perf Perf
 
+	// aud is the flight recorder (nil when auditing is off).
+	aud *audit.Recorder
+
 	mu       sync.Mutex
 	memTotal int64
 	memUsed  int64
@@ -99,13 +103,30 @@ type Device struct {
 
 // NewDevice creates a device with the given memory capacity.
 func NewDevice(s *sim.Simulation, name string, memBytes int64, perf Perf) *Device {
-	return &Device{
+	d := &Device{
 		sim:      s,
 		name:     name,
 		perf:     perf,
 		memTotal: memBytes,
 		allocs:   make(map[Ptr]*buffer),
+		aud:      s.Audit(),
 	}
+	d.aud.RegisterDigest("gpusim", "gpusim."+name, d.digest)
+	return d
+}
+
+// digest hashes the device's memory-manager state: aggregate usage
+// and the monotonic handle counter (no per-buffer walk needed — the
+// counters pin every Malloc/Free that ever happened).
+func (d *Device) digest(dig *audit.Digest) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dig.WriteString(d.name)
+	dig.WriteInt(d.memTotal)
+	dig.WriteInt(d.memUsed)
+	dig.WriteUint(d.next)
+	dig.WriteInt(int64(len(d.allocs)))
+	dig.WriteInt(d.launched)
 }
 
 // Name returns the device name.
@@ -142,6 +163,7 @@ func (d *Device) Malloc(size int64) (Ptr, error) {
 	p := Ptr(d.next)
 	d.allocs[p] = &buffer{data: make([]byte, size)}
 	d.memUsed += size
+	d.aud.Record(audit.KindAlloc, "gpusim", d.name, "malloc", size, int64(p))
 	return p, nil
 }
 
@@ -155,6 +177,7 @@ func (d *Device) Free(p Ptr) error {
 	}
 	d.memUsed -= int64(len(b.data))
 	delete(d.allocs, p)
+	d.aud.Record(audit.KindRelease, "gpusim", d.name, "free", int64(len(b.data)), int64(p))
 	return nil
 }
 

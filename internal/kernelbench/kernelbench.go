@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -157,5 +158,36 @@ func NetsimHop(b *testing.B) {
 		}
 	}); err != nil {
 		b.Fatalf("Run: %v", err)
+	}
+}
+
+// AuditRecordDisabled measures the recorder-disabled hot path: every
+// pbs/maui/netsim/gpusim mutation site calls Record unconditionally
+// on a possibly-nil recorder, so the nil path must stay free — the
+// audit layer's zero-alloc gate (internal/audit's
+// TestDisabledRecordAllocs) pins it at 0 allocs/op and dacbench
+// records the same number as a gated series.
+func AuditRecordDisabled(b *testing.B) {
+	var rec *audit.Recorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(audit.KindJob, "pbs", "1.server", "submit", int64(i), 0)
+	}
+}
+
+// AuditRecordEnabled measures the recorder-enabled hot path: one
+// in-place ring-slot write under the recorder mutex, no per-event
+// allocation (the concrete-typed signature keeps payloads out of
+// interface boxes).
+func AuditRecordEnabled(b *testing.B) {
+	rec := audit.New(1 << 12)
+	for i := 0; i < 16; i++ { // settle the ring storage
+		rec.Record(audit.KindJob, "pbs", "1.server", "submit", int64(i), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(audit.KindJob, "pbs", "1.server", "submit", int64(i), 0)
 	}
 }

@@ -48,6 +48,10 @@ func TestHandlerExhaustive(t *testing.T) {
 	linttest.Run(t, "testdata", []*analysis.Analyzer{lint.NewHandlerExhaustive()}, "handlers")
 }
 
+func TestDigestDet(t *testing.T) {
+	linttest.Run(t, "testdata", []*analysis.Analyzer{lint.NewDigestDet()}, "digests")
+}
+
 func TestPoolBalance(t *testing.T) {
 	a := lint.NewPoolBalance("(*poolbal.Conn).Recv", "(*poolbal.Conn).TryRecv", "poolbal.Acquire")
 	linttest.Run(t, "testdata", []*analysis.Analyzer{a}, "poolbal")
@@ -92,10 +96,10 @@ func TestMalformedIgnore(t *testing.T) {
 	}
 }
 
-// TestSuite pins the shipped analyzer set: ten analyzers, stable
+// TestSuite pins the shipped analyzer set: eleven analyzers, stable
 // names, stable order — the CI job summary keys off these names.
 func TestSuite(t *testing.T) {
-	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance", "metricname", "poolbalance", "handlerexhaustive", "actorown"}
+	want := []string{"walltime", "seededrand", "maporder", "lockdiscipline", "vtctx", "spanbalance", "metricname", "poolbalance", "handlerexhaustive", "actorown", "digestdet"}
 	suite := lint.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

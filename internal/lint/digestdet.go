@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// NewDigestDet returns the digestdet analyzer. State digests captured
+// by the audit layer must be deterministic functions of component
+// state: the cross-parallelism and faithful-vs-sharded identity gates
+// compare their sums bit for bit, so a single map iteration or
+// wall-clock read inside a digest provider turns a hard identity gate
+// into a flaky one. The analyzer identifies digest providers —
+// functions (declarations or literals) taking a *audit.Digest
+// parameter, the signature RegisterDigest accepts — and flags, inside
+// each:
+//
+//   - digest writes (WriteString/WriteInt/WriteUint/WriteBool)
+//     directly inside a body of a range over a map, and slices
+//     accumulated under a map range that reach a digest write without
+//     an intervening sort (the maporder dataflow, retargeted), and
+//   - wall-clock reads (the walltime set: time.Now, time.Since, ...)
+//     anywhere in the provider, with no package allowlist — a digest
+//     is never allowed to see host time.
+//
+// The Digest type is matched by name so fixtures can model it, the
+// same convention maporder uses for metrics.Table.AddRow.
+func NewDigestDet() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "digestdet",
+		Doc: "digest providers (func(*audit.Digest)) must be deterministic: no unsorted map " +
+			"iteration feeding digest writes, no wall-clock reads — digest sums back " +
+			"byte-identity gates across parallelism levels and server modes",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var ftype *ast.FuncType
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					ftype, body = fn.Type, fn.Body
+				case *ast.FuncLit:
+					ftype, body = fn.Type, fn.Body
+				default:
+					return true
+				}
+				if body == nil || !hasDigestParam(pass, ftype) {
+					return true
+				}
+				checkDigestProvider(pass, body)
+				// Keep walking: a provider may nest another literal
+				// (itself a provider only if it takes a *Digest).
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// hasDigestParam reports whether the function type takes a pointer to
+// a named type called Digest.
+func hasDigestParam(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	if ftype == nil || ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		ptr, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if ok && named.Obj().Name() == "Digest" {
+			return true
+		}
+	}
+	return false
+}
+
+// isDigestWrite reports whether call is one of the Digest writer
+// methods whose call order defines the sum.
+func isDigestWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "WriteString", "WriteInt", "WriteUint", "WriteBool":
+	default:
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Digest"
+}
+
+func checkDigestProvider(pass *analysis.Pass, body *ast.BlockStmt) {
+	checkMapOrderFlow(pass, body, mapOrderSinks{
+		isSink:    isDigestWrite,
+		directMsg: "digest write inside a range over a map hashes random iteration order: collect keys, sort, then write",
+		accumMsg:  "%s accumulates elements in map iteration order and feeds a digest write without a sort: sort it first",
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true
+		}
+		if _, bad := wallClockFuncs[fn.Name()]; bad {
+			pass.Reportf(call.Pos(), "wall-clock time.%s inside a digest provider: a digest must be a pure function of component state", fn.Name())
+		}
+		return true
+	})
+}

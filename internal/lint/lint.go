@@ -2,7 +2,7 @@
 // the simulator's determinism and virtual-time invariants at vet
 // time, before they can cost a flaky benchmark gate.
 //
-// The suite (see Suite) ships ten analyzers:
+// The suite (see Suite) ships eleven analyzers:
 //
 //   - walltime: no wall-clock time (time.Now, time.Sleep, ...) in
 //     simulation code — virtual time must come from internal/sim.
@@ -35,6 +35,10 @@
 //     spawned via the sim kernel) may not be touched from outside the
 //     owning goroutine unless the access goes through the mailbox, a
 //     held mutex, an init-only field, or a *Locked-convention helper.
+//   - digestdet: audit digest providers (func(*audit.Digest)) must be
+//     deterministic — no unsorted map iteration feeding digest writes
+//     and no wall-clock reads, since digest sums back the
+//     byte-identity gates across parallelism levels and server modes.
 //
 // The last three are flow-sensitive: they build intra-procedural CFGs
 // (internal/lint/cfg) and solve bitvector dataflow problems over
@@ -130,6 +134,7 @@ func Suite() []*analysis.Analyzer {
 		NewPoolBalance(poolSources...),
 		NewHandlerExhaustive(),
 		NewActorOwn(spawnPrimitives, actorPackages...),
+		NewDigestDet(),
 	}
 }
 

@@ -45,6 +45,28 @@ func NewMapOrder() *analysis.Analyzer {
 }
 
 func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
+	checkMapOrderFlow(pass, body, mapOrderSinks{
+		isSink: func(pass *analysis.Pass, call *ast.CallExpr) bool {
+			return isEmissionCall(pass, call) || analysis.IsPkgFunc(pass.TypesInfo, call, "strings", "Join")
+		},
+		directMsg: "output emitted inside a range over a map follows random iteration order: collect, sort, then emit",
+		accumMsg:  "%s accumulates elements in map iteration order and feeds output without a sort: sort it before emitting",
+	})
+}
+
+// mapOrderSinks parameterizes the map-order dataflow so other
+// analyzers (digestdet) can reuse it with a different notion of
+// "order-sensitive sink": isSink classifies the calls whose argument
+// order matters, directMsg flags a sink directly inside a map-range
+// body, and accumMsg (with one %s for the variable name) flags a
+// slice accumulated under a map range that reaches a sink unsorted.
+type mapOrderSinks struct {
+	isSink    func(*analysis.Pass, *ast.CallExpr) bool
+	directMsg string
+	accumMsg  string
+}
+
+func checkMapOrderFlow(pass *analysis.Pass, body *ast.BlockStmt, sinks mapOrderSinks) {
 	reported := make(map[token.Pos]bool)
 	// accums maps each outer-declared slice that a map-range body
 	// appends to onto the position of its first such append.
@@ -58,9 +80,9 @@ func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
 		ast.Inspect(rs.Body, func(m ast.Node) bool {
 			switch m := m.(type) {
 			case *ast.CallExpr:
-				if isEmissionCall(pass, m) && !reported[m.Pos()] {
+				if sinks.isSink(pass, m) && !reported[m.Pos()] {
 					reported[m.Pos()] = true
-					pass.Reportf(m.Pos(), "output emitted inside a range over a map follows random iteration order: collect, sort, then emit")
+					pass.Reportf(m.Pos(), "%s", sinks.directMsg)
 				}
 			case *ast.AssignStmt:
 				for i, rhs := range m.Rhs {
@@ -89,12 +111,34 @@ func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
 	sorted := make(map[types.Object]bool)
 	emitted := make(map[types.Object]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
+		// A sink inside a range over a tracked slice consumes it in
+		// accumulation order just as surely as passing it whole.
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			id, ok := ast.Unparen(rs.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := accums[obj]; !tracked {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && sinks.isSink(pass, call) {
+					emitted[obj] = true
+				}
+				return true
+			})
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		isSort := isSortCall(pass, call)
-		isEmit := isEmissionCall(pass, call) || analysis.IsPkgFunc(pass.TypesInfo, call, "strings", "Join")
+		isEmit := sinks.isSink(pass, call)
 		if !isSort && !isEmit {
 			return true
 		}
@@ -123,7 +167,7 @@ func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
 	})
 	for obj, pos := range accums {
 		if emitted[obj] && !sorted[obj] {
-			pass.Reportf(pos, "%s accumulates elements in map iteration order and feeds output without a sort: sort it before emitting", obj.Name())
+			pass.Reportf(pos, sinks.accumMsg, obj.Name())
 		}
 	}
 }

@@ -1,0 +1,86 @@
+// Package digests exercises the digestdet analyzer: digest providers
+// must hash component state in a deterministic order and never read
+// the host clock.
+package digests
+
+import (
+	"sort"
+	"time"
+)
+
+// Digest models the audit layer's state hasher.
+type Digest struct{ h uint64 }
+
+func (d *Digest) WriteString(s string) { d.h += uint64(len(s)) }
+func (d *Digest) WriteInt(v int64)     { d.h += uint64(v) }
+func (d *Digest) WriteUint(v uint64)   { d.h += v }
+func (d *Digest) WriteBool(v bool)     {}
+
+type table struct {
+	counts map[string]int64
+}
+
+func (t *table) digestUnsorted(d *Digest) {
+	for name, c := range t.counts {
+		d.WriteString(name) // want `digest write inside a range over a map`
+		d.WriteInt(c)       // want `digest write inside a range over a map`
+	}
+}
+
+func (t *table) digestAccumUnsorted(d *Digest) {
+	var names []string
+	for name := range t.counts {
+		names = append(names, name) // want `names accumulates elements in map iteration order and feeds a digest write`
+	}
+	for _, name := range names {
+		d.WriteString(name)
+	}
+}
+
+func (t *table) digestSorted(d *Digest) {
+	names := make([]string, 0, len(t.counts))
+	for name := range t.counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.WriteString(name)
+		d.WriteInt(t.counts[name])
+	}
+}
+
+func (t *table) digestWallClock(d *Digest) {
+	d.WriteInt(time.Now().UnixNano())              // want `wall-clock time.Now inside a digest provider`
+	d.WriteInt(int64(time.Since(time.Unix(0, 0)))) // want `wall-clock time.Since inside a digest provider`
+}
+
+// register models RegisterDigest taking a provider literal.
+func register(fn func(*Digest)) {}
+
+func registersLiteral(t *table) {
+	register(func(d *Digest) {
+		for name := range t.counts {
+			d.WriteString(name) // want `digest write inside a range over a map`
+		}
+	})
+}
+
+// notAProvider ranges a map and reads the clock, but takes no
+// *Digest: digestdet must stay silent (walltime owns the clock read).
+func notAProvider(t *table) int64 {
+	var total int64
+	for _, c := range t.counts {
+		total += c
+	}
+	return total
+}
+
+// scratch maps inside a provider are fine as long as no write happens
+// under the range: summing is order-insensitive.
+func (t *table) digestFolded(d *Digest) {
+	var total int64
+	for _, c := range t.counts {
+		total += c
+	}
+	d.WriteInt(total)
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/sim"
@@ -123,6 +124,10 @@ type Scheduler struct {
 	serverEP string
 	params   Params
 	inst     schedInstruments
+	// aud is the flight recorder (nil when auditing is off);
+	// auditRunning is its cycle-local scratch set. See audit.go.
+	aud          *audit.Recorder
+	auditRunning map[string]bool
 
 	mu      sync.Mutex
 	usage   map[string]float64 // owner -> decayed node-seconds
@@ -175,7 +180,7 @@ func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
 		params.Endpoint = DefaultEndpoint
 	}
 	reg := net.Sim().Telemetry()
-	return &Scheduler{
+	sc := &Scheduler{
 		net:         net,
 		sim:         net.Sim(),
 		ep:          net.Endpoint(params.Endpoint),
@@ -192,6 +197,8 @@ func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
 			backfill:   reg.Counter("maui.backfill_hits"),
 		},
 	}
+	sc.registerAudit()
+	return sc
 }
 
 // Endpoint returns the scheduler's fabric name.
@@ -298,6 +305,7 @@ func (sc *Scheduler) cycle() bool {
 	// The snapshot (and everything aliasing its buffers, including the
 	// pools built below) is valid until this release.
 	defer info.Release()
+	sc.auditSnapshot(info)
 	sc.sim.Sleep(sc.params.CycleOverhead)
 	sc.cycleIndex++
 	// Expire stale in-flight entries occasionally so the maps track

@@ -12,11 +12,13 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -124,9 +126,15 @@ type Network struct {
 	sim *sim.Simulation
 	def LinkParams
 
+	// aud is the flight recorder (nil when auditing is off): one
+	// KindMsg event per committed delivery, plus the netsim.pairs
+	// digest of per-pair FIFO floors. See audit().
+	aud *audit.Recorder
+
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
 	pairs     map[[2]string]*pairState
+	nameSeq   int
 	down      map[string]bool
 	downHosts map[string]bool
 	rng       *sim.RNG
@@ -184,7 +192,33 @@ func New(s *sim.Simulation, def LinkParams) *Network {
 			linkBusy:      reg.Occupancy("net.link_busy"),
 		}
 	}
+	n.aud = s.Audit()
+	n.aud.RegisterDigest("netsim", "netsim.pairs", n.digestPairs)
 	return n
+}
+
+// digestPairs hashes the fabric's per-pair FIFO state in sorted pair
+// order: every directed sender/receiver pair that has carried traffic
+// and the virtual deadline of its latest delivery.
+func (n *Network) digestPairs(d *audit.Digest) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	keys := make([][2]string, 0, len(n.pairs))
+	for k := range n.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	d.WriteInt(int64(len(keys)))
+	for _, k := range keys {
+		d.WriteString(k[0])
+		d.WriteString(k[1])
+		d.WriteInt(int64(n.pairs[k].lastDue))
+	}
 }
 
 // Seed reseeds the jitter generator (distinct seeds per trial emulate
@@ -210,6 +244,19 @@ func (n *Network) jitterLocked(d time.Duration, p LinkParams) time.Duration {
 
 // Sim returns the simulation the network runs on.
 func (n *Network) Sim() *sim.Simulation { return n.sim }
+
+// NameSeq returns the next value of a per-fabric monotonic counter,
+// used to mint unique endpoint names. Keeping the counter on the
+// fabric (not a process global) matters for the audit layer: minted
+// names appear in recorded message addresses, so a global counter
+// would leak cross-run nondeterminism into otherwise byte-identical
+// recordings.
+func (n *Network) NameSeq() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nameSeq++
+	return n.nameSeq
+}
 
 // Endpoint creates (or returns the existing) endpoint with the given
 // name.
@@ -485,6 +532,9 @@ func deliverMsg(arg any) {
 		return
 	}
 	msg.Delivered = n.sim.Now()
+	// One KindMsg event per committed delivery: destination, tag, and
+	// wire size (all strings pre-existing — the record is alloc-free).
+	n.aud.Record(audit.KindMsg, "netsim", msg.To, msg.Tag, int64(msg.Size), int64(msg.Delivered-msg.Sent))
 	if tr != nil {
 		tr(msg)
 	}

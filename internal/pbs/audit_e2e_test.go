@@ -1,0 +1,157 @@
+package pbs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/netsim"
+	"repro/internal/pbs"
+	"repro/internal/sim"
+)
+
+// newAuditedTestbed is newTestbed with a flight recorder installed on
+// the simulation before any daemon is built.
+func newAuditedTestbed(t *testing.T, nCN, nAC int) (*testbed, *audit.Recorder) {
+	t.Helper()
+	rec := audit.New(1 << 16)
+	s := sim.New()
+	s.SetAudit(rec)
+	return newTestbedOn(t, s, nCN, nAC, nil), rec
+}
+
+// TestAuditCleanRunZeroBreaches pins the flight recorder's healthy
+// path: a full static+dynamic job lifecycle passes every invariant
+// check and leaves an exact, deterministic transition trail.
+func TestAuditCleanRunZeroBreaches(t *testing.T) {
+	tb, rec := newAuditedTestbed(t, 1, 4)
+	var jobID string
+	tb.run(t, func(c *pbs.Client) {
+		id, err := c.Submit(pbs.JobSpec{
+			Name: "dyn", Owner: "u", Nodes: 1, PPN: 1, ACPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) {
+				cl := pbs.NewClient(env.Cluster.(*netsim.Network), env.Host, env.ServerEP)
+				grant, err := cl.DynGet(env.JobID, env.Host, 2)
+				if err != nil {
+					t.Errorf("DynGet: %v", err)
+					return
+				}
+				if err := cl.DynFree(env.JobID, grant.ClientID); err != nil {
+					t.Errorf("DynFree: %v", err)
+				}
+			},
+		})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		jobID = id
+		if _, err := c.Wait(id); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+	})
+	if rec.Checks() == 0 {
+		t.Fatal("invariant engine never ran")
+	}
+	if rec.Breaches() != 0 {
+		t.Fatalf("%d invariant breaches on a clean run", rec.Breaches())
+	}
+	var trail []string
+	for _, e := range rec.Events() {
+		if e.Kind == audit.KindJob && e.Comp == "pbs" && e.Subj == jobID {
+			trail = append(trail, e.Detail)
+		}
+	}
+	want := []string{"submit", "queued->running", "dyn-queued", "dyn-scheduling",
+		"dyn-forwarding", "dyn-granted", "dyn-free", "running->completed"}
+	if len(trail) != len(want) {
+		t.Fatalf("transition trail = %v, want %v", trail, want)
+	}
+	for i := range want {
+		if trail[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (trail %v)", i, trail[i], want[i], trail)
+		}
+	}
+	// The server's digest providers registered at construction.
+	rec.CaptureDigests()
+	digests := make(map[string]bool)
+	for _, e := range rec.Events() {
+		if e.Kind == audit.KindDigest {
+			digests[e.Subj] = true
+		}
+	}
+	if !digests["pbs.jobs"] || !digests["pbs.nodes"] {
+		t.Fatalf("digests captured = %v, want pbs.jobs + pbs.nodes", digests)
+	}
+}
+
+// runTolerant runs the testbed without failing on server-side
+// protocol errors — fault-injection tests poison state on purpose.
+func runTolerant(t *testing.T, tb *testbed, fn func(c *pbs.Client)) {
+	t.Helper()
+	err := tb.s.Run(func() {
+		defer tb.net.Close()
+		tb.server.Start()
+		for _, m := range tb.moms {
+			m.Start()
+		}
+		tb.sched.Start()
+		fn(pbs.NewClient(tb.net, "front", pbs.ServerEndpoint))
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func breachNames(rec *audit.Recorder) map[string]int {
+	out := make(map[string]int)
+	for _, e := range rec.Events() {
+		if e.Kind == audit.KindBreach {
+			out[e.Subj]++
+		}
+	}
+	return out
+}
+
+// TestAuditDetectsDoubleAlloc forces two owners onto one accelerator
+// and expects the next scheduler cycle to flag it.
+func TestAuditDetectsDoubleAlloc(t *testing.T) {
+	tb, rec := newAuditedTestbed(t, 1, 2)
+	runTolerant(t, tb, func(c *pbs.Client) {
+		tb.server.InjectGhostUseForTest("ac0", "901.ghost", 1)
+		tb.server.InjectGhostUseForTest("ac0", "902.ghost", 1)
+		tb.s.Sleep(200 * time.Millisecond) // a few 50ms scheduler cycles
+	})
+	if rec.Breaches() == 0 {
+		t.Fatal("double allocation went undetected")
+	}
+	names := breachNames(rec)
+	if names["double-alloc"] == 0 {
+		t.Fatalf("no double-alloc breach; breaches = %v", names)
+	}
+}
+
+// TestAuditDetectsDroppedJob removes a job from the submission ledger
+// and expects the job-conservation invariant to flag it.
+func TestAuditDetectsDroppedJob(t *testing.T) {
+	tb, rec := newAuditedTestbed(t, 1, 0)
+	runTolerant(t, tb, func(c *pbs.Client) {
+		id, err := c.Submit(pbs.JobSpec{
+			Name: "victim", Owner: "u", Nodes: 1, PPN: 1, Walltime: time.Second,
+			Script: func(env *pbs.JobEnv) { tb.s.Sleep(50 * time.Millisecond) },
+		})
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		if _, err := c.Wait(id); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		tb.server.InjectDropOrderForTest()
+		tb.s.Sleep(200 * time.Millisecond)
+	})
+	names := breachNames(rec)
+	if names["jobs.count"] == 0 {
+		t.Fatalf("dropped job went undetected; breaches = %v", names)
+	}
+}

@@ -3,6 +3,7 @@ package pbs
 import (
 	"errors"
 
+	"repro/internal/audit"
 	"repro/internal/netsim"
 )
 
@@ -66,6 +67,7 @@ func (s *Server) heartbeat(host string) {
 	revived := n.info.Down
 	if revived {
 		n.info.Down = false
+		s.aud.Record(audit.KindNode, "pbs", host, "up", int64(n.info.Cores-n.info.UsedCores), int64(len(n.usedBy)))
 	}
 	s.mu.Unlock()
 	if revived {
@@ -101,6 +103,7 @@ func (s *Server) nodeDown(host string) {
 		return
 	}
 	n.info.Down = true
+	s.aud.Record(audit.KindNode, "pbs", host, "down", 0, int64(len(n.usedBy)))
 	affected := make([]string, 0, len(n.usedBy))
 	for jobID := range n.usedBy {
 		affected = append(affected, jobID)
@@ -129,6 +132,7 @@ func (s *Server) failJob(jobID, lostHost string) {
 	wasRunning := j.info.State == JobRunning
 	j.info.State = JobFailed
 	j.info.CompletedAt = s.sim.Now()
+	s.aud.Record(audit.KindJob, "pbs", jobID, audToFailed, 0, 0)
 	hosts := jobHosts(j.info)
 	s.freeJobLocked(jobID)
 	var rejects []*DynRecord
@@ -176,8 +180,11 @@ func (s *Server) dropAccelerator(jobID, host string) {
 		j.info.DynSets[id] = removeHost(acs, host)
 	}
 	if n, ok := s.nodes[host]; ok {
-		delete(n.usedBy, jobID)
-		s.refreshLocked(n)
+		if c, held := n.usedBy[jobID]; held {
+			s.aud.Record(audit.KindRelease, "pbs", host, jobID, int64(c), 0)
+			delete(n.usedBy, jobID)
+			s.refreshLocked(n)
+		}
 	}
 	ms := ""
 	if j.info.State == JobRunning && len(j.info.Hosts) > 0 {

@@ -24,18 +24,12 @@ type Client struct {
 	nextReq int
 }
 
-var clientSeq struct {
-	mu sync.Mutex
-	n  int
-}
-
 // NewClient creates an IFL client with its own fabric endpoint. name
-// distinguishes multiple clients (pass the calling host).
+// distinguishes multiple clients (pass the calling host). The
+// uniquifying sequence number is per-fabric, so identical runs mint
+// identical endpoint names and audit recordings stay byte-identical.
 func NewClient(net *netsim.Network, name, serverEP string) *Client {
-	clientSeq.mu.Lock()
-	clientSeq.n++
-	seq := clientSeq.n
-	clientSeq.mu.Unlock()
+	seq := net.NameSeq()
 	return &Client{
 		net:      net,
 		sim:      net.Sim(),

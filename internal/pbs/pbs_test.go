@@ -27,7 +27,14 @@ type testbed struct {
 
 func newTestbed(t *testing.T, nCN, nAC int, adjust func(*maui.Params)) *testbed {
 	t.Helper()
-	s := sim.New()
+	return newTestbedOn(t, sim.New(), nCN, nAC, adjust)
+}
+
+// newTestbedOn builds the testbed on a caller-provided simulation, so
+// tests can install instrumentation (tracer, telemetry, audit
+// recorder) before any daemon resolves its handles.
+func newTestbedOn(t *testing.T, s *sim.Simulation, nCN, nAC int, adjust func(*maui.Params)) *testbed {
+	t.Helper()
 	net := netsim.New(s, netsim.LinkParams{Latency: 200 * time.Microsecond})
 	tb := &testbed{s: s, net: net, moms: make(map[string]*pbs.Mom)}
 	tb.server = pbs.NewServer(net, pbs.ServerParams{Processing: time.Millisecond})

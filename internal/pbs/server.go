@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -51,6 +52,9 @@ type Server struct {
 	ep     *netsim.Endpoint
 	params ServerParams
 	inst   serverInstruments
+	// aud is the flight recorder (nil when auditing is off — every
+	// call on it is a nil-safe no-op). See audit.go.
+	aud *audit.Recorder
 
 	// shards holds the worker mailboxes of the sharded dispatch path
 	// (nil in the faithful configuration); see shard.go.
@@ -124,7 +128,7 @@ type serverInstruments struct {
 // node and Start to spawn its actor.
 func NewServer(net *netsim.Network, params ServerParams) *Server {
 	reg := net.Sim().Telemetry()
-	return &Server{
+	s := &Server{
 		inst: serverInstruments{
 			rpcService:  reg.Histogram("pbs.rpc_service"),
 			dynLatency:  reg.Histogram("pbs.dyn_latency"),
@@ -147,6 +151,8 @@ func NewServer(net *netsim.Network, params ServerParams) *Server {
 		waiters:  make(map[string][]waiter),
 		lastSeen: make(map[string]time.Duration),
 	}
+	s.registerAudit()
+	return s
 }
 
 // AddNode registers a node in the server's node database.
@@ -331,6 +337,7 @@ func (s *Server) handleSubmit(req SubmitReq) {
 	s.order = append(s.order, id)
 	s.index.activate(seq, id)
 	s.mu.Unlock()
+	s.aud.Record(audit.KindJob, "pbs", id, audSubmit, int64(seq), 0)
 	sp.Annotate("job", id)
 	s.inst.submits.Inc()
 	s.account(AcctQueued, id, "owner=%s %s", req.Spec.Owner, FormatResourceRequest(req.Spec))
@@ -433,6 +440,7 @@ func (s *Server) handleDelete(req DeleteReq) {
 		j.info.State = JobDeleted
 		j.info.CompletedAt = s.sim.Now()
 		s.freeJobLocked(req.JobID)
+		s.aud.Record(audit.KindJob, "pbs", req.JobID, audToDeleted, int64(state), 0)
 	}
 	ms := ""
 	if len(j.info.Hosts) > 0 {
@@ -524,6 +532,7 @@ func (s *Server) handleDynGet(req DynGetReq) {
 	}
 	s.dynQ = append(s.dynQ, rec)
 	s.dynReply[rec.ReqID] = dynReplyTo{ep: req.ReplyTo, clientReq: req.ReqID}
+	s.aud.Record(audit.KindJob, "pbs", req.JobID, audDynQueued, int64(rec.ReqID), int64(rec.Count))
 	sp.Annotate("req", strconv.Itoa(rec.ReqID))
 	s.startNextDynLocked()
 	s.mu.Unlock()
@@ -544,6 +553,7 @@ func (s *Server) startNextDynLocked() {
 			if rec.State == DynQueued {
 				rec.State = DynScheduling
 				rec.ServiceAt = s.sim.Now()
+				s.aud.Record(audit.KindJob, "pbs", rec.JobID, audDynSched, int64(rec.ReqID), 0)
 				kicked = true
 			}
 		}
@@ -559,6 +569,7 @@ func (s *Server) startNextDynLocked() {
 		if rec.State == DynQueued {
 			rec.State = DynScheduling
 			rec.ServiceAt = s.sim.Now()
+			s.aud.Record(audit.KindJob, "pbs", rec.JobID, audDynSched, int64(rec.ReqID), 0)
 			s.dynBusy = true
 			if s.schedEP != "" {
 				s.sendLockedSafe(s.schedEP, SchedKick{Reason: "dynqueued"})
@@ -598,10 +609,12 @@ func (s *Server) handleDynFree(req DynFreeReq) {
 	}
 	for _, h := range hosts {
 		if n, ok := s.nodes[h]; ok {
+			s.aud.Record(audit.KindRelease, "pbs", h, req.JobID, int64(n.usedBy[req.JobID]), 1)
 			delete(n.usedBy, req.JobID)
 			s.refreshLocked(n)
 		}
 	}
+	s.aud.Record(audit.KindJob, "pbs", req.JobID, audDynFree, int64(req.ClientID), int64(len(hosts)))
 	ms := ""
 	if len(j.info.Hosts) > 0 {
 		ms = j.info.Hosts[0]
@@ -670,7 +683,11 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 		}
 	}
 	resp.Nodes = s.nodeViewIntoLocked(resp.Nodes[:0])
+	// Scheduler-cycle boundary: the snapshot the scheduler will act on
+	// is complete — run the invariant engine on exactly that state.
+	s.auditCheckLocked()
 	s.mu.Unlock()
+	s.aud.Record(audit.KindCycle, "pbs", audSchedInfoCyc, "", int64(len(resp.Queued)), int64(len(resp.Running)))
 	s.inst.queueDepth.Set(float64(len(resp.Queued)))
 	s.inst.dynPending.Set(float64(len(resp.Dyn)))
 	s.send(req.ReplyTo, resp)
@@ -718,12 +735,14 @@ func (s *Server) handleAlloc(cmd AllocCmd) {
 		n := s.nodes[h]
 		n.usedBy[cmd.JobID] = j.info.Spec.PPN
 		s.refreshLocked(n)
+		s.aud.Record(audit.KindAlloc, "pbs", h, cmd.JobID, int64(j.info.Spec.PPN), 0)
 	}
 	for _, acs := range cmd.AccHosts {
 		for _, h := range acs {
 			n := s.nodes[h]
 			n.usedBy[cmd.JobID] = 1
 			s.refreshLocked(n)
+			s.aud.Record(audit.KindAlloc, "pbs", h, cmd.JobID, 1, 0)
 		}
 	}
 	j.info.Hosts = append([]string(nil), cmd.Hosts...)
@@ -733,6 +752,7 @@ func (s *Server) handleAlloc(cmd AllocCmd) {
 	}
 	j.info.AllocatedAt = s.sim.Now()
 	j.info.State = JobRunning
+	s.aud.Record(audit.KindJob, "pbs", cmd.JobID, audQueuedToRun, int64(len(cmd.Hosts)), 0)
 	spec := j.info.Spec
 	hosts := append([]string(nil), j.info.Hosts...)
 	acc := j.info.AccHosts
@@ -814,6 +834,7 @@ func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
 	s.nextClient++
 	rec.ClientID = s.nextClient
 	rec.Hosts = append([]string(nil), cmd.Hosts...)
+	s.aud.Record(audit.KindJob, "pbs", rec.JobID, audDynForward, int64(rec.ReqID), int64(rec.ClientID))
 	for _, h := range cmd.Hosts {
 		n := s.nodes[h]
 		if rec.Kind == KindCompute {
@@ -822,6 +843,7 @@ func (s *Server) handleDynAlloc(cmd DynAllocCmd) {
 			n.usedBy[rec.JobID] = 1
 		}
 		s.refreshLocked(n)
+		s.aud.Record(audit.KindAlloc, "pbs", h, rec.JobID, int64(n.usedBy[rec.JobID]), 1)
 	}
 	j.info.DynSets[rec.ClientID] = rec.Hosts
 	ms := j.info.Hosts[0]
@@ -877,8 +899,10 @@ func (s *Server) finishDynLocked(rec *DynRecord) {
 	s.inst.dynLatency.Record(rec.RepliedAt - rec.ArrivedAt)
 	if rec.State == DynRejected {
 		s.inst.dynRejected.Inc()
+		s.aud.Record(audit.KindJob, "pbs", rec.JobID, audDynRejected, int64(rec.ReqID), 0)
 	} else {
 		s.inst.dynGranted.Inc()
+		s.aud.Record(audit.KindJob, "pbs", rec.JobID, audDynGranted, int64(rec.ReqID), int64(rec.ClientID))
 	}
 	if trc := s.sim.Tracer(); trc != nil {
 		outcome := "granted"
@@ -914,6 +938,7 @@ func (s *Server) handleJobDone(jobID string) {
 	}
 	j.info.State = JobCompleted
 	j.info.CompletedAt = s.sim.Now()
+	s.aud.Record(audit.KindJob, "pbs", jobID, audRunToDone, 0, 0)
 	s.inst.jobsDone.Inc()
 	hosts := jobHosts(j.info)
 	s.freeJobLocked(jobID)
@@ -953,7 +978,8 @@ func (s *Server) freeJobLocked(jobID string) {
 	}
 	for _, h := range jobHosts(j.info) {
 		if n, ok := s.nodes[h]; ok {
-			if _, held := n.usedBy[jobID]; held {
+			if c, held := n.usedBy[jobID]; held {
+				s.aud.Record(audit.KindRelease, "pbs", h, jobID, int64(c), 0)
 				delete(n.usedBy, jobID)
 				s.refreshLocked(n)
 			}
@@ -993,6 +1019,7 @@ func (s *Server) refreshLocked(n *serverNode) {
 		n.info.UsedCores = used
 	}
 	n.info.Jobs = jobs
+	s.aud.Record(audit.KindNode, "pbs", n.info.Name, "", int64(n.info.Cores-n.info.UsedCores), int64(len(n.usedBy)))
 }
 
 func (s *Server) nodeView() []NodeInfo {

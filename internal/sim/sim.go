@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -82,6 +83,10 @@ type Simulation struct {
 	// SetTelemetry. Atomics for the same reason as tracer.
 	telem      atomic.Pointer[telemetry.Registry]
 	kernelInst atomic.Pointer[kernelInstruments]
+
+	// aud is the active flight recorder (nil disables it); components
+	// resolve it at construction like the tracer and registry.
+	aud atomic.Pointer[audit.Recorder]
 }
 
 // kernelInstruments are the kernel's own live metrics: how many
@@ -116,6 +121,7 @@ func (s *Simulation) SetDeadline(d time.Duration) {
 func (s *Simulation) SetTracer(t *trace.Tracer) {
 	t.SetClock(s.Now)
 	s.tracer.Store(t)
+	s.bridgeTraceDrops()
 }
 
 // Tracer returns the active tracer, or nil when tracing is disabled.
@@ -139,6 +145,21 @@ func (s *Simulation) SetTelemetry(reg *telemetry.Registry) {
 		dispatches: reg.Counter("sim.dispatches"),
 		queueDepth: reg.Gauge("sim.queue_depth"),
 	})
+	s.bridgeTraceDrops()
+}
+
+// bridgeTraceDrops connects the tracer's ring-buffer drop counter to
+// the telemetry registry once both sinks are installed, so dropped
+// spans surface in dacstat summaries and the Prometheus export
+// instead of only the trace text summary. Install order does not
+// matter: both setters call it.
+func (s *Simulation) bridgeTraceDrops() {
+	t := s.tracer.Load()
+	reg := s.telem.Load()
+	if t == nil || reg == nil {
+		return
+	}
+	t.SetDropSink(reg.Counter("trace.dropped_spans"))
 }
 
 // Telemetry returns the active registry, or nil when telemetry is
@@ -146,6 +167,20 @@ func (s *Simulation) SetTelemetry(reg *telemetry.Registry) {
 // components resolve handles unconditionally.
 func (s *Simulation) Telemetry() *telemetry.Registry {
 	return s.telem.Load()
+}
+
+// SetAudit installs (or, with nil, removes) the flight recorder and
+// binds its event clock to this simulation's virtual time.
+func (s *Simulation) SetAudit(r *audit.Recorder) {
+	r.SetClock(s.Now)
+	s.aud.Store(r)
+}
+
+// Audit returns the active flight recorder, or nil when auditing is
+// disabled. All audit.Recorder methods are nil-safe, so components
+// record state deltas unconditionally.
+func (s *Simulation) Audit() *audit.Recorder {
+	return s.aud.Load()
 }
 
 // Now reports the current virtual time as an offset from the start of
@@ -413,6 +448,7 @@ func (s *Simulation) reset() {
 	s.tracer.Store(nil)
 	s.telem.Store(nil)
 	s.kernelInst.Store(nil)
+	s.aud.Store(nil)
 }
 
 // Halted reports whether Run has returned.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func TestKernelTelemetry(t *testing.T) {
@@ -51,5 +52,40 @@ func TestResetClearsTelemetry(t *testing.T) {
 	s.reset()
 	if s.Telemetry() != nil {
 		t.Fatal("reset must drop the telemetry registry with the tracer")
+	}
+}
+
+// The tracer's ring-buffer drop counter must surface in the telemetry
+// registry ("trace.dropped_spans") and match the tracer's own total,
+// whichever order the two sinks are installed in.
+func TestBridgeTraceDrops(t *testing.T) {
+	for _, tracerFirst := range []bool{true, false} {
+		s := New()
+		tr := trace.New()
+		tr.SetLimit(4)
+		reg := telemetry.New()
+		if tracerFirst {
+			s.SetTracer(tr)
+			s.SetTelemetry(reg)
+		} else {
+			s.SetTelemetry(reg)
+			s.SetTracer(tr)
+		}
+		if err := s.Run(func() {
+			for i := 0; i < 16; i++ {
+				sp := tr.Start("test", "span")
+				s.Sleep(time.Millisecond)
+				sp.End()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		dropped := tr.Dropped()
+		if dropped == 0 {
+			t.Fatalf("tracerFirst=%v: limit 4 with 16 spans dropped nothing", tracerFirst)
+		}
+		if got := reg.Counter("trace.dropped_spans").Value(); got != dropped {
+			t.Errorf("tracerFirst=%v: trace.dropped_spans = %d, tracer dropped %d", tracerFirst, got, dropped)
+		}
 	}
 }

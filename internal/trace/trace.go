@@ -71,13 +71,15 @@ type Event struct {
 // Tracer records events and aggregates metrics. Create with New; a
 // nil Tracer is the disabled, allocation-free no-op.
 type Tracer struct {
-	mu      sync.Mutex
-	clock   func() time.Duration
-	nextID  uint64
-	events  []Event
-	subs    []func(Event)
-	limit   int   // max retained events; 0 = unbounded
-	dropped int64 // events discarded once the limit was hit
+	mu          sync.Mutex
+	clock       func() time.Duration
+	nextID      uint64
+	events      []Event
+	subs        []func(Event)
+	limit       int      // max retained events; 0 = unbounded
+	dropped     int64    // events discarded once the limit was hit
+	dropSink    DropSink // optional live counter mirroring dropped
+	dropsToSink int64    // drops already forwarded to the sink
 
 	counters   map[string]int64
 	gauges     map[string]float64
@@ -315,9 +317,38 @@ func (t *Tracer) InstantAt(track, name string, at time.Duration, kvs ...string) 
 func (t *Tracer) publishLocked(ev Event) {
 	if t.limit > 0 && len(t.events) >= t.limit {
 		t.dropped++
+		if t.dropSink != nil {
+			t.dropSink.Add(1)
+			t.dropsToSink++
+		}
 		return
 	}
 	t.events = append(t.events, ev)
+}
+
+// DropSink receives one Add per event the ring-buffer limit
+// discards. The interface is satisfied by *telemetry.Counter; trace
+// cannot import telemetry (the dependency runs the other way), so the
+// sim kernel bridges the two when both sinks are installed.
+type DropSink interface {
+	Add(delta int64)
+}
+
+// SetDropSink installs (or, with nil, removes) the live drop counter.
+// Drops that happened before the sink was installed are replayed into
+// it (exactly once, even if the bridge re-installs the same sink), so
+// a late-bound registry still reports the true total.
+func (t *Tracer) SetDropSink(s DropSink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropSink = s
+	if s != nil && t.dropped > t.dropsToSink {
+		s.Add(t.dropped - t.dropsToSink)
+		t.dropsToSink = t.dropped
+	}
+	t.mu.Unlock()
 }
 
 // SetLimit caps the retained event log at n events; once full, later

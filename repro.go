@@ -18,6 +18,7 @@
 package repro
 
 import (
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dac"
@@ -315,6 +316,12 @@ type (
 	// SLOPoint is one row of the live-telemetry figure (scrape series
 	// plus SLO compliance at one cluster size).
 	SLOPoint = core.SLOPoint
+	// AuditedPoint is one row of the audited scale ladder: a
+	// ScalePoint plus the flight recording, invariant counters, and
+	// digest rounds of the run that produced it.
+	AuditedPoint = core.AuditedPoint
+	// AuditEvent is one recorded state-delta event.
+	AuditEvent = audit.Event
 	// ServerMode selects the server ablation for the scale ladder.
 	ServerMode = core.ServerMode
 )
@@ -366,6 +373,17 @@ var (
 	BreakdownMode     = core.BreakdownMode
 	BreakdownTable    = core.BreakdownTable
 	DynBreakdownTable = core.DynBreakdownTable
+
+	// ScaleAudited runs the scale ladder with a flight recorder per
+	// point: every pbs/maui/netsim/gpusim/dac state mutation is
+	// recorded, resource-conservation invariants are checked at every
+	// scheduler cycle, and component state digests are captured on
+	// the scrape cadence. WriteAuditRecording serializes a point's
+	// event stream as JSONL for dacaudit.
+	ScaleAudited        = core.ScaleAudited
+	AuditTable          = core.AuditTable
+	AuditBreaches       = core.AuditBreaches
+	WriteAuditRecording = audit.WriteRecording
 
 	// SLO replays the scale workload under an open-loop stream of
 	// paced dynamic requests, scraping live telemetry on a virtual

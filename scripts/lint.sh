@@ -53,13 +53,13 @@ if [ -n "$elapsed_ms" ] && awk "BEGIN{exit !($elapsed_ms >= 30000)}"; then
     exit 1
 fi
 
-# Count findings per analyzer. The ten suite names are pinned by
+# Count findings per analyzer. The eleven suite names are pinned by
 # TestSuite in internal/lint; "ignore" counts malformed //lint:ignore
 # directives reported by the framework itself.
 summary=$(
     echo "| analyzer | findings |"
     echo "| --- | ---: |"
-    for a in walltime seededrand maporder lockdiscipline vtctx spanbalance metricname poolbalance handlerexhaustive actorown ignore; do
+    for a in walltime seededrand maporder lockdiscipline vtctx spanbalance metricname poolbalance handlerexhaustive actorown digestdet ignore; do
         n=$(grep -c ": $a: " "$out" || true)
         echo "| $a | $n |"
     done
