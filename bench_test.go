@@ -228,6 +228,10 @@ func BenchmarkHistogramRecord(b *testing.B) { kernelbench.HistogramRecord(b) }
 // representative telemetry instrument mix.
 func BenchmarkRegistryScrape(b *testing.B) { kernelbench.RegistryScrape(b) }
 
+// BenchmarkArrivalsNext measures one open-loop arrival draw (gap +
+// weighted shape pick) on the service admission path.
+func BenchmarkArrivalsNext(b *testing.B) { kernelbench.ArrivalsNext(b) }
+
 // BenchmarkAuditRecordDisabled measures the recorder-disabled audit
 // hot path (nil recorder, pinned at 0 allocs/op).
 func BenchmarkAuditRecordDisabled(b *testing.B) { kernelbench.AuditRecordDisabled(b) }

@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 	"time"
@@ -45,11 +46,30 @@ type Report struct {
 	// wall times these are deterministic (the hot paths are pinned at
 	// zero by tier-1 tests), so compare gates on any growth.
 	Allocs map[string]float64 `json:"allocs_per_op,omitempty"`
+	// Throughput records the online-service sustained-throughput
+	// series: host-side events/sec and jobs/sec for a resident
+	// instance absorbing an open-loop stream. These are wall-clock
+	// numbers, so compare gates only on drops (candidate slower than
+	// baseline by more than the throughput tolerance); speedups pass.
+	Throughput map[string]float64 `json:"throughput_per_sec,omitempty"`
 }
 
 func vms(d time.Duration) float64 { return float64(d) / 1e6 }
 
-func record(trials int, scaleSizes, shardedSizes []int) (*Report, error) {
+// benchServePoint names one sustained-throughput measurement: a
+// cluster size and the server ablation serving it.
+type benchServePoint struct {
+	n    int
+	mode repro.ServerMode
+}
+
+// serveBenchHorizon is the virtual admission window per throughput
+// point — long enough for the resident instance to reach steady
+// state, short enough that the 1024-node faithful point stays a
+// modest slice of a record run.
+const serveBenchHorizon = 20 * time.Second
+
+func record(trials int, scaleSizes, shardedSizes []int, servePoints []benchServePoint) (*Report, error) {
 	rep := &Report{
 		SchemaVersion: 1,
 		Date:          time.Now().UTC().Format("2006-01-02"),
@@ -58,6 +78,7 @@ func record(trials int, scaleSizes, shardedSizes []int) (*Report, error) {
 		Series:        make(map[string]float64),
 		Wall:          make(map[string]float64),
 		Allocs:        make(map[string]float64),
+		Throughput:    make(map[string]float64),
 	}
 	params := repro.DefaultParams()
 
@@ -192,6 +213,31 @@ func record(trials int, scaleSizes, shardedSizes []int) (*Report, error) {
 		}
 	}
 
+	// The online-service sustained-throughput series: a resident
+	// instance per (size, server mode) absorbs an open-loop Poisson
+	// stream for a fixed virtual window; events/sec and jobs/sec are
+	// the host wall-clock rates at which the simulator pushed that
+	// window through. The virtual makespan of each point joins the
+	// deterministic Series gate; the rates join the drop-only
+	// Throughput gate.
+	for _, sp := range servePoints {
+		key := fmt.Sprintf("cns=%d/mode=%s", sp.n, sp.mode)
+		start := time.Now()
+		pts, err := repro.Serve(params, []int{sp.n}, sp.mode, 0, serveBenchHorizon)
+		if err != nil {
+			return nil, fmt.Errorf("serve/%s: %w", key, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		pt := pts[0]
+		if pt.Completed != pt.Submitted {
+			return nil, fmt.Errorf("serve/%s: drained %d of %d jobs", key, pt.Completed, pt.Submitted)
+		}
+		rep.Wall["serve/"+key] = elapsed
+		rep.Series["serve/makespan/"+key] = vms(pt.Makespan)
+		rep.Throughput["serve/events_per_sec/"+key] = float64(pt.Dispatches) / elapsed
+		rep.Throughput["serve/jobs_per_sec/"+key] = float64(pt.Completed) / elapsed
+	}
+
 	// Kernel microbenchmarks: allocs/op is the gated number; ns/op is
 	// host-dependent and rides along in Wall for the log only.
 	for _, kb := range []struct {
@@ -205,6 +251,7 @@ func record(trials int, scaleSizes, shardedSizes []int) (*Report, error) {
 		{"telemetry/registry_scrape", kernelbench.RegistryScrape},
 		{"audit/record_disabled", kernelbench.AuditRecordDisabled},
 		{"audit/record_enabled", kernelbench.AuditRecordEnabled},
+		{"workload/arrivals_next", kernelbench.ArrivalsNext},
 	} {
 		r := testing.Benchmark(kb.fn)
 		rep.Allocs[kb.name] = float64(r.AllocsPerOp())
@@ -233,7 +280,9 @@ func load(path string) (*Report, error) {
 // virtual clock is deterministic, so shared series should match to
 // well within the tolerance) and reports series present on only one
 // side without failing on them — experiments may be added or retired.
-func compare(baseline, candidate *Report, tol float64) (failures []string) {
+// Throughput series are wall-clock, so they gate one-sided at tolTput:
+// only a drop below baseline fails.
+func compare(baseline, candidate *Report, tol, tolTput float64) (failures []string) {
 	if baseline.Trials != candidate.Trials {
 		fmt.Printf("note: trials differ (baseline %d, candidate %d); means may shift with jitter enabled\n",
 			baseline.Trials, candidate.Trials)
@@ -286,6 +335,35 @@ func compare(baseline, candidate *Report, tol float64) (failures []string) {
 		fmt.Printf("note: new series %q not in baseline\n", name)
 	}
 
+	// Throughput gate: sustained events/sec and jobs/sec are host
+	// wall-clock rates, so only a drop is a regression — a slower
+	// runner is absorbed by tolTput, a faster one sails through.
+	if len(baseline.Throughput) > 0 {
+		fmt.Println()
+		tnames := make([]string, 0, len(baseline.Throughput))
+		for name := range baseline.Throughput {
+			tnames = append(tnames, name)
+		}
+		sort.Strings(tnames)
+		for _, name := range tnames {
+			b := baseline.Throughput[name]
+			c, ok := candidate.Throughput[name]
+			if !ok {
+				fmt.Printf("note: throughput series %q missing from candidate\n", name)
+				continue
+			}
+			status := "ok"
+			if b > 0 && c < b*(1-tolTput) {
+				status = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("%s: baseline %.0f/sec, candidate %.0f/sec (%.1f%% drop > %.0f%%)",
+						name, b, c, (b-c)/b*100, tolTput*100))
+			}
+			fmt.Printf("%-4s %-44s baseline %12.0f/sec  candidate %12.0f/sec  (%+.1f%%)\n",
+				status, name, b, c, (c-b)/max(b, 1e-9)*100)
+		}
+	}
+
 	// Allocation gate: a kernel hot path that starts allocating is a
 	// regression even when virtual times are unchanged, so any
 	// allocs/op growth over the baseline fails. Shrinking is fine.
@@ -329,7 +407,41 @@ func main() {
 	baselinePath := flag.String("compare", "", "baseline report; with -candidate, compare instead of recording")
 	candidatePath := flag.String("candidate", "", "candidate report to check against -compare")
 	tol := flag.Float64("tolerance", 0.15, "maximum relative deviation per virtual-time series")
+	tolTput := flag.Float64("throughput-tolerance", 0.15, "maximum relative drop per wall-clock throughput series (gains always pass)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU profile (runtime/pprof) of the record run to this file")
+	memProfile := flag.String("memprofile", "", "write a host-side heap profile (runtime/pprof, after GC) on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("dacbench: cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("dacbench: cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("dacbench: cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("dacbench: memprofile: %v", err)
+			}
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("dacbench: memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("dacbench: memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *baselinePath != "" {
 		if *candidatePath == "" {
@@ -343,7 +455,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("dacbench: %v", err)
 		}
-		failures := compare(baseline, candidate, *tol)
+		failures := compare(baseline, candidate, *tol, *tolTput)
 		if len(failures) > 0 {
 			fmt.Println()
 			for _, f := range failures {
@@ -361,7 +473,11 @@ func main() {
 	// rungs pin the serialization effect the sharded series buys back
 	// (the 4096-node serial server costs ~15s of host wall time — the
 	// bulk of a record run — which is itself the ablation's point).
-	rep, err := record(*trials, []int{8, 64, 256, 1024, 4096}, []int{1024, 4096})
+	rep, err := record(*trials, []int{8, 64, 256, 1024, 4096}, []int{1024, 4096},
+		[]benchServePoint{
+			{256, repro.ServerFaithful}, {256, repro.ServerSharded},
+			{1024, repro.ServerFaithful}, {1024, repro.ServerSharded},
+		})
 	if err != nil {
 		log.Fatalf("dacbench: %v", err)
 	}

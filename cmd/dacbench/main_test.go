@@ -20,7 +20,7 @@ func report(series map[string]float64) *Report {
 func TestCompareWithinTolerance(t *testing.T) {
 	base := report(map[string]float64{"a": 100, "b": 0, "gone": 5})
 	cand := report(map[string]float64{"a": 110, "b": 0, "new": 7})
-	if failures := compare(base, cand, 0.15); len(failures) != 0 {
+	if failures := compare(base, cand, 0.15, 0.15); len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
 }
@@ -28,9 +28,27 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareDetectsRegression(t *testing.T) {
 	base := report(map[string]float64{"a": 100, "b": 0})
 	cand := report(map[string]float64{"a": 130, "b": 2})
-	failures := compare(base, cand, 0.15)
+	failures := compare(base, cand, 0.15, 0.15)
 	if len(failures) != 2 {
 		t.Fatalf("got %d failures, want 2: %v", len(failures), failures)
+	}
+}
+
+// Throughput series gate one-sided: a drop beyond tolerance fails, a
+// gain of any size passes, and the virtual-time tolerance does not
+// apply to them.
+func TestCompareThroughputDropOnly(t *testing.T) {
+	base := report(map[string]float64{"a": 100})
+	base.Throughput = map[string]float64{"serve/jobs_per_sec/x": 1000, "serve/events_per_sec/x": 5000}
+	cand := report(map[string]float64{"a": 100})
+	cand.Throughput = map[string]float64{"serve/jobs_per_sec/x": 3000, "serve/events_per_sec/x": 4000}
+	if failures := compare(base, cand, 0.0, 0.25); len(failures) != 0 {
+		t.Fatalf("gain or small drop failed: %v", failures)
+	}
+	cand.Throughput["serve/events_per_sec/x"] = 3000 // 40% drop
+	failures := compare(base, cand, 0.0, 0.25)
+	if len(failures) != 1 {
+		t.Fatalf("got %d failures, want 1: %v", len(failures), failures)
 	}
 }
 
@@ -61,7 +79,7 @@ func TestLoadRoundTrip(t *testing.T) {
 // A recorded report must carry every figure and scale series and be
 // self-consistent against itself under compare.
 func TestRecordSelfConsistent(t *testing.T) {
-	rep, err := record(1, []int{8}, []int{8})
+	rep, err := record(1, []int{8}, []int{8}, []benchServePoint{{8, "faithful"}})
 	if err != nil {
 		t.Fatalf("record: %v", err)
 	}
@@ -69,12 +87,20 @@ func TestRecordSelfConsistent(t *testing.T) {
 		"fig7a/total/acs=6", "fig7b/total/acs=6", "fig8/total/load=20",
 		"fig9/total/node=C", "scale/cycle_mean/cns=8", "scale/dyn_latency/cns=8",
 		"scale_sharded/cycle_mean/cns=8", "scale_sharded/dyn_p99/cns=8",
+		"serve/makespan/cns=8/mode=faithful",
 	} {
 		if _, ok := rep.Series[want]; !ok {
 			t.Fatalf("series %q missing from recorded report", want)
 		}
 	}
-	if failures := compare(rep, rep, 0.0); len(failures) != 0 {
+	for _, want := range []string{
+		"serve/events_per_sec/cns=8/mode=faithful", "serve/jobs_per_sec/cns=8/mode=faithful",
+	} {
+		if v, ok := rep.Throughput[want]; !ok || v <= 0 {
+			t.Fatalf("throughput %q missing or zero in recorded report", want)
+		}
+	}
+	if failures := compare(rep, rep, 0.0, 0.0); len(failures) != 0 {
 		t.Fatalf("report deviates from itself: %v", failures)
 	}
 }

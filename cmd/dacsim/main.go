@@ -12,6 +12,9 @@
 //	dacsim -fig slo -scrape-out scrape    # live telemetry scrapes + SLO compliance
 //	dacsim -fig scale -audit              # flight recorder + invariant engine on
 //	dacsim -fig scale -audit -audit-out rec -seed 1   # recordings for dacaudit
+//	dacsim -fig serve                     # online service mode: open-loop sustained ingest
+//	dacsim -fig serve -rate 64 -serve-for 30s -scrape-out serve   # custom load point
+//	dacsim -fig scale -cpuprofile cpu.pb.gz   # host-side pprof of the simulator itself
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, scale, breakdown, slo, ablations, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7a, 7b, 8, 9, scale, breakdown, slo, serve, ablations, all")
 	trials := flag.Int("trials", 10, "trials per data point (the paper averages 10)")
 	maxACs := flag.Int("max", 6, "maximum accelerator count for figures 7(a) and 7(b)")
 	scaleNodes := flag.Int("scale-max", 256, "largest compute-node count for -fig scale (accelerators and jobs grow 8x)")
@@ -42,7 +47,42 @@ func main() {
 	auditOut := flag.String("audit-out", "", "with -audit: write each point's recording (JSONL, readable by dacaudit) to PREFIX-<nodes>.jsonl")
 	seed := flag.Uint64("seed", 0, "workload/jitter seed; 0 reproduces the historical figures byte for byte, distinct seeds give dacaudit -diff distinct recordings")
 	showMetrics := flag.Bool("metrics", false, "print the tracer's metrics summary (span latencies, counters, gauges) after the figures")
+	serveRate := flag.Float64("rate", 0, "with -fig serve: open-loop submission rate in jobs per virtual second (0 picks a per-size default)")
+	serveFor := flag.Duration("serve-for", 0, "with -fig serve: virtual admission window per point (0 = 60s default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host-side CPU profile (runtime/pprof) of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a host-side heap profile (runtime/pprof, after GC) to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("dacsim: cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("dacsim: cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("dacsim: cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("dacsim: memprofile: %v", err)
+			}
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("dacsim: memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("dacsim: memprofile: %v", err)
+			}
+		}()
+	}
 
 	repro.SetParallelism(*parallel)
 	params := repro.DefaultParams()
@@ -229,6 +269,40 @@ func main() {
 			}
 		}
 	}
+	runServe := func() {
+		var sizes []int
+		for _, n := range repro.ServeSizes {
+			if n <= *scaleNodes {
+				sizes = append(sizes, n)
+			}
+		}
+		if len(sizes) == 0 || sizes[len(sizes)-1] != *scaleNodes {
+			sizes = append(sizes, *scaleNodes)
+		}
+		pts, err := repro.Serve(params, sizes, mode, *serveRate, *serveFor)
+		if err != nil {
+			log.Fatalf("dacsim: serve: %v", err)
+		}
+		emit(repro.ServeTable(pts))
+		emit(repro.ServeComplianceTable(pts))
+		if *scrapeOut != "" {
+			prefix := strings.TrimSuffix(*scrapeOut, ".jsonl")
+			for _, pt := range pts {
+				path := fmt.Sprintf("%s-%d.jsonl", prefix, pt.ComputeNodes)
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatalf("dacsim: scrape-out: %v", err)
+				}
+				if err := repro.WriteScrapeJSONL(f, pt.Windows); err != nil {
+					log.Fatalf("dacsim: scrape-out: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("dacsim: scrape-out: %v", err)
+				}
+				fmt.Fprintf(os.Stderr, "dacsim: wrote %d scrape windows to %s\n", len(pt.Windows), path)
+			}
+		}
+	}
 	runAblations := func() {
 		dp, err := repro.AblationDynPriority(params, 16, 1)
 		if err != nil {
@@ -315,14 +389,17 @@ func main() {
 		emit(t)
 	}
 
-	if mode != repro.ServerFaithful && *fig != "scale" && *fig != "breakdown" {
-		log.Fatalf("dacsim: -server %s requires -fig scale or -fig breakdown", mode)
+	if mode != repro.ServerFaithful && *fig != "scale" && *fig != "breakdown" && *fig != "serve" {
+		log.Fatalf("dacsim: -server %s requires -fig scale, breakdown, or serve", mode)
 	}
 	if *captureOut != "" && *fig != "breakdown" {
 		log.Fatalf("dacsim: -capture requires -fig breakdown (per-size private tracers)")
 	}
-	if *scrapeOut != "" && *fig != "slo" {
-		log.Fatalf("dacsim: -scrape-out requires -fig slo (per-size private registries)")
+	if *scrapeOut != "" && *fig != "slo" && *fig != "serve" {
+		log.Fatalf("dacsim: -scrape-out requires -fig slo or -fig serve (per-size private registries)")
+	}
+	if (*serveRate != 0 || *serveFor != 0) && *fig != "serve" {
+		log.Fatalf("dacsim: -rate/-serve-for require -fig serve")
 	}
 	if *auditOn && *fig != "scale" {
 		log.Fatalf("dacsim: -audit requires -fig scale (per-point flight recorders)")
@@ -346,6 +423,8 @@ func main() {
 		runBreakdown()
 	case "slo":
 		runSLO()
+	case "serve":
+		runServe()
 	case "ablations":
 		runAblations()
 	case "all":
@@ -355,7 +434,7 @@ func main() {
 		run9()
 		runAblations()
 	default:
-		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, scale, breakdown, slo, ablations, all)", *fig)
+		log.Fatalf("dacsim: unknown figure %q (want 7a, 7b, 8, 9, scale, breakdown, slo, serve, ablations, all)", *fig)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

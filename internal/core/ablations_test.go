@@ -75,7 +75,9 @@ func TestAblationBackfill(t *testing.T) {
 }
 
 func TestAblationSchedulerPortability(t *testing.T) {
-	res, err := AblationSchedulerPortability(cluster.Default(), 12, 6)
+	// Seed re-pinned when the workload generator split its shape and
+	// arrival RNG streams (the draw sequence behind each seed moved).
+	res, err := AblationSchedulerPortability(cluster.Default(), 12, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

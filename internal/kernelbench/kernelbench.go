@@ -15,6 +15,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 func bump(a any) { *(a.(*int))++ }
@@ -158,6 +159,31 @@ func NetsimHop(b *testing.B) {
 		}
 	}); err != nil {
 		b.Fatalf("Run: %v", err)
+	}
+}
+
+// ArrivalsNext measures one open-loop arrival draw: an interarrival
+// gap from the dedicated arrival RNG stream plus a weighted shape
+// pick and job naming. The service admission pump pays this once per
+// admitted job, so its per-op cost (a couple of small allocations for
+// the job name and dynamic-phase script) bounds ingest overhead at
+// millions of jobs per virtual hour.
+func ArrivalsNext(b *testing.B) {
+	src, err := workload.NewArrivals(workload.ArrivalConfig{Rate: 1000, Seed: 1})
+	if err != nil {
+		b.Fatalf("NewArrivals: %v", err)
+	}
+	for i := 0; i < 16; i++ { // settle RNG and counter state
+		if _, ok := src.Next(); !ok {
+			b.Fatal("source dried up")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := src.Next(); !ok {
+			b.Fatal("source dried up")
+		}
 	}
 }
 

@@ -90,6 +90,7 @@ var (
 		"repro/internal/gpusim",
 		"repro/internal/fifosched",
 		"repro/internal/workload",
+		"repro/internal/service",
 	}
 
 	// lockScope is where lockdiscipline applies: the scheduler,

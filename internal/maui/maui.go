@@ -172,6 +172,7 @@ type schedInstruments struct {
 	queueDepth *telemetry.Gauge     // schedulable queue at cycle start
 	placed     *telemetry.Counter
 	backfill   *telemetry.Counter
+	idle       *telemetry.Counter // cycles whose snapshot had no work
 }
 
 // New creates a scheduler speaking to the given server endpoint.
@@ -195,6 +196,7 @@ func New(net *netsim.Network, serverEP string, params Params) *Scheduler {
 			queueDepth: reg.Gauge("maui.queue_depth"),
 			placed:     reg.Counter("maui.placed"),
 			backfill:   reg.Counter("maui.backfill_hits"),
+			idle:       reg.Counter("maui.idle_cycles"),
 		},
 	}
 	sc.registerAudit()
@@ -331,6 +333,9 @@ func (sc *Scheduler) cycle() bool {
 		}
 	}
 	sc.mu.Unlock()
+	if len(info.Queued) == 0 && len(info.Dyn) == 0 {
+		sc.inst.idle.Inc()
+	}
 
 	if sc.params.Partitions > 1 {
 		return sc.partitionedCycle(info, cyc)

@@ -52,6 +52,11 @@ func (s *Server) account(typ byte, jobID, format string, args ...any) {
 	}
 	s.mu.Lock()
 	s.acct = append(s.acct, rec)
+	// Online service mode bounds the in-memory log: keep the newest
+	// AcctRing records, compacting at 2x so appends stay amortized O(1).
+	if r := s.params.AcctRing; r > 0 && len(s.acct) > 2*r {
+		s.acct = append(s.acct[:0], s.acct[len(s.acct)-r:]...)
+	}
 	s.mu.Unlock()
 	if trc := s.sim.Tracer(); trc != nil {
 		trc.InstantAt(ServerTrack, "acct."+string(rec.Type), rec.At,

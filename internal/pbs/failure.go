@@ -135,6 +135,7 @@ func (s *Server) failJob(jobID, lostHost string) {
 	s.aud.Record(audit.KindJob, "pbs", jobID, audToFailed, 0, 0)
 	hosts := jobHosts(j.info)
 	s.freeJobLocked(jobID)
+	s.retireLocked(jobID)
 	var rejects []*DynRecord
 	for _, rec := range s.dynQ {
 		if rec.JobID == jobID && rec.State != DynGranted && rec.State != DynRejected {

@@ -69,6 +69,13 @@ func (ix *jobIndex) put(seq int, id string, j *serverJob) {
 	ix.partFor(seq).jobs[id] = j
 }
 
+// remove drops a job from its partition's map. The retention window
+// (retention.go) is the only caller, and only for terminal jobs that
+// compactActive has already taken off every active list.
+func (ix *jobIndex) remove(id string) {
+	delete(ix.partFor(jobSeq(id)).jobs, id)
+}
+
 // activate appends the job to its partition's active list. Callers
 // activate in submission order, so every partition's list stays
 // sorted by sequence number — the invariant compactActive's merge

@@ -1,0 +1,132 @@
+package pbs
+
+// Job-record retention: the machinery that keeps a resident server at
+// steady-state memory. The original batch configuration retains every
+// job record forever — the right behavior for post-hoc figure
+// extraction, where qstat must see any job ever run, but an open-loop
+// service instance submitting millions of jobs would grow the index,
+// the submission-order log, and the accounting log without bound.
+//
+// With ServerParams.RetainCompleted > 0 the server keeps a sliding
+// window of terminal records: terminal transitions enqueue the job id
+// on doneQ, and at each scheduler-cycle boundary (handleSchedInfo,
+// after compactActive has removed terminal ids from every active
+// list) the oldest records beyond the window are purged from the
+// index and recycled through a free pool, so steady state allocates
+// no new records at all. The submission-order log compacts once
+// purged ids dominate it, and the audit invariant jobs.count accounts
+// for the retired ids (see auditCheckLocked).
+//
+// All purging happens at the deterministic cycle boundary, never on
+// the message path, so results stay byte-identical across -parallel
+// levels and the retention window only changes which records are
+// still inspectable — not what the cluster computes.
+
+// JobRecordStats reports the server's job-record economy: live
+// records in the index, terminal records retained in the window, and
+// the cumulative counts of purged records and pool reuses. Soak tests
+// assert purged grows while live+retained stays flat, and that reuse
+// tracks submissions once the pool warms up.
+type JobRecordStats struct {
+	Live     int
+	Retained int
+	Purged   uint64
+	Reused   uint64
+}
+
+// JobRecords returns the current record statistics.
+func (s *Server) JobRecords() JobRecordStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobRecordStats{
+		Live:     s.index.size() - len(s.doneQ),
+		Retained: len(s.doneQ),
+		Purged:   s.purged,
+		Reused:   s.reused,
+	}
+}
+
+// acquireJobLocked returns a job record, recycling one from the pool
+// when retention has freed any. Callers hold s.mu and must fill every
+// identity field; pooled records come back with cleared maps and
+// zero-length slices.
+func (s *Server) acquireJobLocked() *serverJob {
+	if n := len(s.jobPool); n > 0 {
+		j := s.jobPool[n-1]
+		s.jobPool[n-1] = nil
+		s.jobPool = s.jobPool[:n-1]
+		s.reused++
+		return j
+	}
+	return &serverJob{info: JobInfo{
+		AccHosts: make(map[string][]string),
+		DynSets:  make(map[int][]string),
+	}}
+}
+
+// retireLocked notes a terminal transition. A no-op unless retention
+// is on; each job reaches a terminal state exactly once, so ids never
+// enqueue twice. Callers hold s.mu.
+func (s *Server) retireLocked(id string) {
+	if s.params.RetainCompleted > 0 {
+		s.doneQ = append(s.doneQ, id)
+	}
+}
+
+// purgeRetiredLocked drops the oldest terminal records beyond the
+// retention window. Called from handleSchedInfo immediately after
+// compactActive — every doneQ id is terminal, so none is left on an
+// active list — and before auditCheckLocked, so the invariant engine
+// sees the post-purge state. Callers hold s.mu.
+func (s *Server) purgeRetiredLocked() {
+	r := s.params.RetainCompleted
+	if r <= 0 {
+		return
+	}
+	k := len(s.doneQ) - r
+	if k <= 0 {
+		return
+	}
+	for _, id := range s.doneQ[:k] {
+		j, ok := s.index.get(id)
+		if !ok {
+			continue
+		}
+		s.index.remove(id)
+		s.recycleLocked(j)
+		s.retired++
+		s.purged++
+	}
+	s.doneQ = append(s.doneQ[:0], s.doneQ[k:]...)
+	// The submission-order log keeps purged ids (the audit digest
+	// hashes them as retired); compact it once they dominate, so a
+	// long-running service holds O(retention window) ids, not
+	// O(jobs ever).
+	if s.retired > 256 && s.retired > len(s.order)/2 {
+		w := 0
+		for _, id := range s.order {
+			if _, ok := s.index.get(id); ok {
+				s.order[w] = id
+				w++
+			}
+		}
+		clear(s.order[w:])
+		s.order = s.order[:w]
+		s.retired = 0
+	}
+}
+
+// recycleLocked scrubs a purged record and returns it to the pool,
+// keeping its maps and slice capacity for the next submission.
+func (s *Server) recycleLocked(j *serverJob) {
+	info := &j.info
+	clear(info.AccHosts)
+	clear(info.DynSets)
+	*info = JobInfo{
+		Hosts:      info.Hosts[:0],
+		AccHosts:   info.AccHosts,
+		DynSets:    info.DynSets,
+		DynRecords: info.DynRecords[:0],
+	}
+	s.jobPool = append(s.jobPool, j)
+}

@@ -1,0 +1,221 @@
+package pbs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/pbs"
+)
+
+// runRetention drives a small cluster through n short jobs with the
+// given retention window and returns the final record stats plus the
+// completed-state check result.
+func runRetention(t *testing.T, n, retain int, aud *audit.Recorder) pbs.JobRecordStats {
+	t.Helper()
+	p := cluster.Default()
+	p.ComputeNodes = 2
+	p.Accelerators = 2
+	p.Server.RetainCompleted = retain
+	p.Server.AcctRing = 64
+	p.Audit = aud
+	var stats pbs.JobRecordStats
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		// Submit serially (wait for each job) so terminal records
+		// accumulate and purge while the stream is still running —
+		// the steady-state shape of an online service.
+		for i := 0; i < n; i++ {
+			id, err := client.Submit(pbs.JobSpec{
+				Name: fmt.Sprintf("j%d", i), Owner: "u", Nodes: 1, PPN: 1,
+				Walltime: time.Second,
+				Script: func(env *pbs.JobEnv) {
+					c.Sim.Sleep(2 * time.Millisecond)
+				},
+			})
+			if err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+				return
+			}
+			if _, err := client.Wait(id); err != nil {
+				t.Errorf("Wait %s: %v", id, err)
+				return
+			}
+		}
+		// Let a few more scheduler cycles pass so the final batch of
+		// terminal records crosses the purge boundary.
+		c.Sim.Sleep(2 * time.Second)
+		stats = c.Server.JobRecords()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stats
+}
+
+// With a retention window, a long submission stream must hold the
+// index at O(window): old terminal records purge, their structs
+// recycle through the pool, and the audit invariants keep passing.
+func TestRetentionBoundsJobRecords(t *testing.T) {
+	aud := audit.New(1 << 16)
+	stats := runRetention(t, 300, 16, aud)
+	if stats.Purged == 0 {
+		t.Fatal("no records purged despite window of 16")
+	}
+	if stats.Reused == 0 {
+		t.Fatal("pool never reused a record")
+	}
+	if stats.Retained > 16 {
+		t.Fatalf("retained %d > window 16", stats.Retained)
+	}
+	if stats.Live+stats.Retained > 64 {
+		t.Fatalf("index holds %d records after 300 jobs, want O(window)", stats.Live+stats.Retained)
+	}
+	if br := aud.Breaches(); br != 0 {
+		t.Fatalf("%d audit breaches with retention on", br)
+	}
+}
+
+// Retention off (the default) keeps every record — the original batch
+// behavior every existing figure depends on.
+func TestRetentionOffKeepsEverything(t *testing.T) {
+	stats := runRetention(t, 50, 0, nil)
+	if stats.Purged != 0 || stats.Reused != 0 {
+		t.Fatalf("default config purged %d reused %d, want 0/0", stats.Purged, stats.Reused)
+	}
+	if stats.Live+stats.Retained != 50 {
+		t.Fatalf("index holds %d records, want all 50", stats.Live+stats.Retained)
+	}
+}
+
+// The retention window must not change what the cluster computes:
+// same submissions, same completion times, purge only affects which
+// records remain inspectable afterwards.
+func TestRetentionPreservesSchedule(t *testing.T) {
+	run := func(retain int) []time.Duration {
+		p := cluster.Default()
+		p.ComputeNodes = 2
+		p.Accelerators = 2
+		p.Server.RetainCompleted = retain
+		var done []time.Duration
+		err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+			ids := make([]string, 0, 80)
+			for i := 0; i < 80; i++ {
+				id, err := client.Submit(pbs.JobSpec{
+					Name: fmt.Sprintf("j%d", i), Owner: "u", Nodes: 1, PPN: 1,
+					Walltime: time.Second,
+					Script: func(env *pbs.JobEnv) {
+						c.Sim.Sleep(3 * time.Millisecond)
+					},
+				})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				ids = append(ids, id)
+				c.Sim.Sleep(time.Millisecond)
+			}
+			for _, id := range ids {
+				info, err := client.Wait(id)
+				if err != nil {
+					t.Errorf("Wait: %v", err)
+					return
+				}
+				done = append(done, info.CompletedAt)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return done
+	}
+	keep, window := run(0), run(8)
+	if len(keep) != len(window) {
+		t.Fatalf("completion counts differ: %d vs %d", len(keep), len(window))
+	}
+	for i := range keep {
+		if keep[i] != window[i] {
+			t.Fatalf("job %d completed at %v without retention, %v with", i, keep[i], window[i])
+		}
+	}
+}
+
+// A purged job is gone from qstat: the server answers ErrUnknownJob,
+// exactly like a job that never existed.
+func TestRetentionPurgedJobUnknown(t *testing.T) {
+	p := cluster.Default()
+	p.ComputeNodes = 1
+	p.Accelerators = 1
+	p.Server.RetainCompleted = 4
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		var first string
+		for i := 0; i < 40; i++ {
+			id, err := client.Submit(pbs.JobSpec{
+				Name: fmt.Sprintf("j%d", i), Owner: "u", Nodes: 1, PPN: 1,
+				Walltime: time.Second,
+				Script:   func(env *pbs.JobEnv) { c.Sim.Sleep(time.Millisecond) },
+			})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			if i == 0 {
+				first = id
+			}
+			if _, err := client.Wait(id); err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+		}
+		c.Sim.Sleep(2 * time.Second)
+		if _, err := client.Stat(first); err == nil {
+			t.Errorf("Stat(%s) succeeded after purge", first)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// Accounting ring: the in-memory log stays bounded at ~2x the ring
+// while newest records survive.
+func TestAcctRingBounds(t *testing.T) {
+	p := cluster.Default()
+	p.ComputeNodes = 1
+	p.Accelerators = 1
+	p.Server.RetainCompleted = 8
+	p.Server.AcctRing = 32
+	err := cluster.Run(p, func(c *cluster.Cluster, client *pbs.Client) {
+		for i := 0; i < 100; i++ {
+			id, err := client.Submit(pbs.JobSpec{
+				Name: fmt.Sprintf("j%d", i), Owner: "u", Nodes: 1, PPN: 1,
+				Walltime: time.Second,
+				Script:   func(env *pbs.JobEnv) { c.Sim.Sleep(time.Millisecond) },
+			})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			if _, err := client.Wait(id); err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+		}
+		log := c.Server.AccountingLog()
+		if len(log) > 64 {
+			t.Errorf("accounting log holds %d records, ring is 32", len(log))
+		}
+		if len(log) == 0 {
+			t.Error("accounting log empty")
+		}
+		// Newest records survive the ring compaction.
+		last := log[len(log)-1]
+		if last.JobID == "" {
+			t.Errorf("tail record malformed: %+v", last)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

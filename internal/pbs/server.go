@@ -42,6 +42,17 @@ type ServerParams struct {
 	// index partitions per shard, and DYNJOIN pipelines instead of
 	// serializing.
 	Shards int
+	// RetainCompleted bounds how many terminal job records (completed,
+	// deleted, failed) the server keeps. 0 retains everything — the
+	// original batch behavior, where qstat can inspect any job ever
+	// run. Positive values enable the online-service retention window:
+	// older terminal records are purged at scheduler-cycle boundaries
+	// and recycled through a pool, keeping a resident instance at
+	// steady-state memory (see retention.go).
+	RetainCompleted int
+	// AcctRing bounds the in-memory accounting log to roughly the most
+	// recent records (0 = unbounded, the original behavior).
+	AcctRing int
 }
 
 // Server is the pbs_server daemon: job queues, the node database, and
@@ -79,6 +90,14 @@ type Server struct {
 	lastSeen  map[string]time.Duration
 	acct      []AccountingRecord
 	errs      []string
+
+	// Retention state (see retention.go); all zero when
+	// RetainCompleted is 0.
+	doneQ   []string     // terminal job ids, oldest first
+	retired int          // ids purged from the index but still in order
+	purged  uint64       // cumulative purge count
+	reused  uint64       // cumulative pool-reuse count
+	jobPool []*serverJob // scrubbed records awaiting reuse
 }
 
 // dynReplyTo remembers where and with which client-side request id a
@@ -326,14 +345,12 @@ func (s *Server) handleSubmit(req SubmitReq) {
 	s.nextJob++
 	seq := s.nextJob
 	id := fmt.Sprintf("%d.%s", seq, ServerEndpoint)
-	s.index.put(seq, id, &serverJob{info: JobInfo{
-		ID:          id,
-		Spec:        req.Spec,
-		State:       JobQueued,
-		AccHosts:    make(map[string][]string),
-		DynSets:     make(map[int][]string),
-		SubmittedAt: s.sim.Now(),
-	}})
+	j := s.acquireJobLocked()
+	j.info.ID = id
+	j.info.Spec = req.Spec
+	j.info.State = JobQueued
+	j.info.SubmittedAt = s.sim.Now()
+	s.index.put(seq, id, j)
 	s.order = append(s.order, id)
 	s.index.activate(seq, id)
 	s.mu.Unlock()
@@ -440,6 +457,7 @@ func (s *Server) handleDelete(req DeleteReq) {
 		j.info.State = JobDeleted
 		j.info.CompletedAt = s.sim.Now()
 		s.freeJobLocked(req.JobID)
+		s.retireLocked(req.JobID)
 		s.aud.Record(audit.KindJob, "pbs", req.JobID, audToDeleted, int64(state), 0)
 	}
 	ms := ""
@@ -683,6 +701,10 @@ func (s *Server) handleSchedInfo(req SchedInfoReq) {
 		}
 	}
 	resp.Nodes = s.nodeViewIntoLocked(resp.Nodes[:0])
+	// Retention: compactActive just removed every terminal id from the
+	// active lists, so records beyond the window can be recycled now
+	// without leaving a dangling active entry.
+	s.purgeRetiredLocked()
 	// Scheduler-cycle boundary: the snapshot the scheduler will act on
 	// is complete — run the invariant engine on exactly that state.
 	s.auditCheckLocked()
@@ -942,6 +964,7 @@ func (s *Server) handleJobDone(jobID string) {
 	s.inst.jobsDone.Inc()
 	hosts := jobHosts(j.info)
 	s.freeJobLocked(jobID)
+	s.retireLocked(jobID)
 	// Reject any dynamic requests still pending for this job.
 	var rejects []*DynRecord
 	for _, rec := range s.dynQ {

@@ -1,0 +1,93 @@
+package service_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// heapAfterGC forces a full collection and returns live heap bytes —
+// the only way ReadMemStats deltas are comparable across samples.
+func heapAfterGC() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// The steady-state soak: a resident instance serves two equal-length
+// job windows; the live heap after the second window must sit within
+// a small allowance of the heap after the first. Without the
+// retention window, the ledger pool, and the ring caps, tens of
+// thousands of job records (serverJob + accounting + ledger entries)
+// would grow the second sample by many megabytes.
+func TestServeSoakSteadyStateMemory(t *testing.T) {
+	window := 20000
+	if testing.Short() {
+		window = 3000
+	}
+	p := testParams(8)
+	src, err := workload.NewArrivals(workload.ArrivalConfig{
+		Rate: 400, Seed: 13, MaxJobs: 2 * window, Classes: shortClasses(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var afterFirst, afterSecond uint64
+	var midStats, endStats service.Stats
+	rep, err := service.Run(service.Config{
+		Cluster:        p,
+		Source:         src,
+		ScrapeInterval: 5 * time.Second,
+		MaxWindows:     64,
+		Probe: func(inst *service.Instance) {
+			s := inst.Cluster().Sim
+			for int(inst.ServiceStats().Completed) < window {
+				s.Sleep(250 * time.Millisecond)
+			}
+			afterFirst = heapAfterGC()
+			midStats = inst.ServiceStats()
+			for int(inst.ServiceStats().Completed) < 2*window {
+				s.Sleep(250 * time.Millisecond)
+			}
+			afterSecond = heapAfterGC()
+			endStats = inst.ServiceStats()
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Completed != 2*window {
+		t.Fatalf("completed %d want %d", rep.Completed, 2*window)
+	}
+
+	// Pooled reuse must carry the second window: after warmup, nearly
+	// every ledger record and server job record comes from a pool.
+	grewRecycled := endStats.Recycled - midStats.Recycled
+	if grewRecycled < uint64(window/2) {
+		t.Errorf("second window recycled only %d ledger records (window %d)", grewRecycled, window)
+	}
+	if rep.Records.Reused == 0 || rep.Records.Purged == 0 {
+		t.Errorf("server pool idle: %+v", rep.Records)
+	}
+	// Retention holds the server index at O(window), not O(jobs ever).
+	if held := rep.Records.Live + rep.Records.Retained; held > service.DefaultRetainCompleted+256 {
+		t.Errorf("server holds %d job records after %d jobs", held, 2*window)
+	}
+	// Scrape ring respected its cap.
+	if len(rep.Windows) > 64 {
+		t.Errorf("%d scrape windows, cap 64", len(rep.Windows))
+	}
+
+	// The headline assertion: live heap is flat across two equal
+	// windows. The allowance absorbs GC noise and pool warm-up tails;
+	// an actual leak of window job records costs well over 8 MB.
+	if afterSecond > afterFirst && afterSecond-afterFirst > 8<<20 {
+		t.Errorf("heap grew %d bytes across a %d-job window (first %d, second %d)",
+			afterSecond-afterFirst, window, afterFirst, afterSecond)
+	}
+}

@@ -87,6 +87,13 @@ type Simulation struct {
 	// aud is the active flight recorder (nil disables it); components
 	// resolve it at construction like the tracer and registry.
 	aud atomic.Pointer[audit.Recorder]
+
+	// dispatched counts events the controller has released since the
+	// kernel was created (or last recycled through the pool). Unlike
+	// the sim.dispatches telemetry counter it is always on, so a CLI
+	// can divide it by host wall time for an events/sec throughput
+	// figure without installing a registry.
+	dispatched atomic.Uint64
 }
 
 // kernelInstruments are the kernel's own live metrics: how many
@@ -334,6 +341,7 @@ func (s *Simulation) Run(main func()) error {
 		s.batch = batch
 		s.now = t
 		s.nowA.Store(int64(t))
+		s.dispatched.Add(uint64(len(batch)))
 		if ki := s.kernelInst.Load(); ki != nil {
 			ki.dispatches.Add(int64(len(batch)))
 			ki.queueDepth.Set(float64(s.events.len()))
@@ -449,6 +457,15 @@ func (s *Simulation) reset() {
 	s.telem.Store(nil)
 	s.kernelInst.Store(nil)
 	s.aud.Store(nil)
+	s.dispatched.Store(0)
+}
+
+// Dispatches reports how many events the controller has released so
+// far. It is safe to call from any goroutine, including after Run has
+// returned — the denominator-free half of an events-per-second
+// throughput measurement (the caller supplies the wall clock).
+func (s *Simulation) Dispatches() uint64 {
+	return s.dispatched.Load()
 }
 
 // Halted reports whether Run has returned.

@@ -22,10 +22,20 @@ type TraceEntry struct {
 	ACPN     int           `json:"acpn"`
 	Runtime  time.Duration `json:"runtime"`
 	Walltime time.Duration `json:"walltime"`
+	// DynACs, when positive, reconstructs a job that issues one
+	// dynamic accelerator request at runtime (held for DynHold); zero
+	// keeps the plain sleeper script, so older traces replay
+	// unchanged.
+	DynACs  int           `json:"dyn_acs,omitempty"`
+	DynHold time.Duration `json:"dyn_hold,omitempty"`
 }
 
 // Spec reconstructs a submittable job from the entry.
 func (e TraceEntry) Spec(s *sim.Simulation) pbs.JobSpec {
+	script := Sleeper(s, e.Runtime)
+	if e.DynACs > 0 {
+		script = DynSleeper(s, e.Runtime, e.DynACs, e.DynHold)
+	}
 	return pbs.JobSpec{
 		Name:     e.Name,
 		Owner:    e.Owner,
@@ -33,7 +43,7 @@ func (e TraceEntry) Spec(s *sim.Simulation) pbs.JobSpec {
 		PPN:      e.PPN,
 		ACPN:     e.ACPN,
 		Walltime: e.Walltime,
-		Script:   Sleeper(s, e.Runtime),
+		Script:   script,
 	}
 }
 

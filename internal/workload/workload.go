@@ -20,6 +20,30 @@ func Sleeper(s *sim.Simulation, d time.Duration) pbs.Script {
 	return func(env *pbs.JobEnv) { s.Sleep(d) }
 }
 
+// DynSleeper returns a job script that holds its nodes for run and,
+// once started, issues one dynamic request for acs accelerators, held
+// for hold before being freed. A rejected request just shortens the
+// dynamic phase — the job still runs to completion, like the paper's
+// applications degrade to their static set.
+func DynSleeper(s *sim.Simulation, run time.Duration, acs int, hold time.Duration) pbs.Script {
+	return func(env *pbs.JobEnv) {
+		ac, _, err := dac.Init(env)
+		if err != nil {
+			s.Sleep(run)
+			return
+		}
+		defer ac.Finalize()
+		clientID, _, err := ac.Get(acs)
+		if err == nil {
+			s.Sleep(hold)
+			ac.Free(clientID)
+		}
+		if rest := run - hold; rest > 0 {
+			s.Sleep(rest)
+		}
+	}
+}
+
 // Backlog returns n jobs that can never be scheduled on a cluster
 // with fewer than nodes compute nodes; they keep the Maui queue busy
 // without interfering with the DAC job's resources, as required by
@@ -50,13 +74,24 @@ type Class struct {
 	MinRun   time.Duration
 	MaxRun   time.Duration
 	Walltime time.Duration // user estimate; 0 means MaxRun
+	// DynACs, when positive, makes jobs of this class issue one
+	// dynamic accelerator request (AC_Get) for that many accelerators
+	// at runtime, held for DynHold before AC_Free — the class that
+	// keeps pbs.dyn_latency carrying signal in open-loop service runs.
+	DynACs  int
+	DynHold time.Duration
 }
 
 // Generator draws jobs from a weighted mix of classes with
 // exponential interarrival times.
+//
+// Job shapes and interarrival gaps come from two independent seeded
+// streams split from the one seed, so changing the submission rate
+// (MeanInterarrival) never reshuffles which jobs arrive — only when.
 type Generator struct {
 	sim     *sim.Simulation
-	rng     *sim.RNG
+	shape   *sim.RNG // class pick + runtime draw
+	arrival *sim.RNG // interarrival gaps only
 	classes []Class
 	total   int
 	// MeanInterarrival is the mean spacing between submissions.
@@ -70,7 +105,18 @@ func NewGenerator(s *sim.Simulation, seed uint64, mean time.Duration, classes []
 	for _, c := range classes {
 		total += c.Weight
 	}
-	return &Generator{sim: s, rng: sim.NewRNG(seed), classes: classes, total: total, MeanInterarrival: mean}
+	shape, arrival := splitStreams(seed)
+	return &Generator{sim: s, shape: shape, arrival: arrival, classes: classes, total: total, MeanInterarrival: mean}
+}
+
+// splitStreams derives the two independent per-source RNG streams —
+// job shape and interarrival — from one seed. Both Generator and
+// Arrivals use it, so a generator and an arrival process with the
+// same seed and classes draw identical job sequences.
+func splitStreams(seed uint64) (shape, arrival *sim.RNG) {
+	shape = sim.NewRNG(seed)
+	arrival = sim.NewRNG(seed).Split()
+	return shape, arrival
 }
 
 // DefaultClasses is a small mixed workload: serial jobs, node-wide
@@ -85,24 +131,12 @@ func DefaultClasses() []Class {
 
 // Next draws the next job and the interarrival gap preceding it.
 func (g *Generator) Next() (pbs.JobSpec, time.Duration) {
-	pick := g.rng.Intn(g.total)
-	var cls Class
-	for _, c := range g.classes {
-		if pick < c.Weight {
-			cls = c
-			break
-		}
-		pick -= c.Weight
-	}
-	run := cls.MinRun
-	if cls.MaxRun > cls.MinRun {
-		run += time.Duration(g.rng.Float64() * float64(cls.MaxRun-cls.MinRun))
-	}
+	g.seq++
+	cls, run := drawShape(g.shape, g.classes, g.total)
 	wall := cls.Walltime
 	if wall == 0 {
 		wall = cls.MaxRun
 	}
-	g.seq++
 	spec := pbs.JobSpec{
 		Name:     fmt.Sprintf("%s-%d", cls.Name, g.seq),
 		Owner:    cls.Name,
@@ -112,8 +146,28 @@ func (g *Generator) Next() (pbs.JobSpec, time.Duration) {
 		Walltime: wall,
 		Script:   Sleeper(g.sim, run),
 	}
-	gap := time.Duration(g.rng.Exp(g.MeanInterarrival.Seconds()) * float64(time.Second))
+	gap := time.Duration(g.arrival.Exp(g.MeanInterarrival.Seconds()) * float64(time.Second))
 	return spec, gap
+}
+
+// drawShape picks a weighted class and its runtime from the shape
+// stream — two draws per job, always in this order, so the k-th job
+// of a seed is the same regardless of how gaps are generated.
+func drawShape(rng *sim.RNG, classes []Class, total int) (Class, time.Duration) {
+	pick := rng.Intn(total)
+	var cls Class
+	for _, c := range classes {
+		if pick < c.Weight {
+			cls = c
+			break
+		}
+		pick -= c.Weight
+	}
+	run := cls.MinRun
+	if cls.MaxRun > cls.MinRun {
+		run += time.Duration(rng.Float64() * float64(cls.MaxRun-cls.MinRun))
+	}
+	return cls, run
 }
 
 // Phase is one computational phase of an evolving DAC application.

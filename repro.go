@@ -27,6 +27,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pbs"
 	"repro/internal/prof"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -292,6 +293,66 @@ var (
 	ScaleTrace = workload.ScaleTrace
 )
 
+// Open-loop submission sources (see internal/workload): deterministic
+// seeded arrival processes feeding the online service mode.
+type (
+	// SubmissionSource yields timestamped job submissions for the
+	// online service; Arrivals and trace replays both implement it.
+	SubmissionSource = workload.Source
+	// Arrivals is a deterministic open-loop arrival process (Poisson,
+	// uniform, or bursty) with rate and job-shape streams decoupled so
+	// changing the rate never reshuffles job sizes.
+	Arrivals = workload.Arrivals
+	// ArrivalConfig tunes an arrival process (process, rate, seed,
+	// classes, horizon, burst shape).
+	ArrivalConfig = workload.ArrivalConfig
+	// ArrivalProcess names an interarrival distribution.
+	ArrivalProcess = workload.ArrivalProcess
+)
+
+// Arrival processes and source constructors.
+const (
+	ArrivalPoisson = workload.ArrivalPoisson
+	ArrivalUniform = workload.ArrivalUniform
+	ArrivalBurst   = workload.ArrivalBurst
+)
+
+var (
+	NewArrivals         = workload.NewArrivals
+	NewTraceSource      = workload.NewTraceSource
+	ParseArrivalProcess = workload.ParseArrivalProcess
+	ServeClasses        = workload.ServeClasses
+)
+
+// Online service mode (see internal/service): a resident cluster
+// instance absorbing an open-loop submission stream at steady-state
+// memory, with qstat/qsub-style queries and SLO reporting.
+type (
+	// Service is a live cluster engine serving a submission source.
+	Service = service.Instance
+	// ServiceConfig wires a source, admission tick, horizon, retention
+	// window, and telemetry cadence to a resident instance.
+	ServiceConfig = service.Config
+	// ServiceReport is the end-of-run summary (throughput ledger,
+	// scrape windows, SLO compliance, pool statistics).
+	ServiceReport = service.Report
+	// ServiceStats is a live snapshot of the instance's counters.
+	ServiceStats = service.Stats
+	// ServiceQueueSnapshot is the qstat-style queue depth view.
+	ServiceQueueSnapshot = service.QueueSnapshot
+	// JobRecordStats reports the server's job-record pool behaviour
+	// under completed-job retention.
+	JobRecordStats = pbs.JobRecordStats
+)
+
+// RunService builds a simulation and resident instance, serves the
+// configured source to drain, and returns the report.
+var (
+	RunService               = service.Run
+	NewService               = service.New
+	DefaultServiceObjectives = service.DefaultObjectives
+)
+
 // ParseResourceRequest parses a qsub -l string (the paper's
 // "nodes=k:ppn=q:acpn=x") into a JobSpec; FormatResourceRequest is
 // its inverse.
@@ -324,6 +385,9 @@ type (
 	AuditEvent = audit.Event
 	// ServerMode selects the server ablation for the scale ladder.
 	ServerMode = core.ServerMode
+	// ServePoint is one row of the online-service figure (sustained
+	// open-loop ingest with steady-state SLO evaluation).
+	ServePoint = core.ServePoint
 )
 
 // Server modes for ScaleMode/BreakdownMode.
@@ -393,6 +457,17 @@ var (
 	SLOComplianceTable = core.SLOComplianceTable
 	SLOSizes           = core.SLOSizes
 	SLOObjectives      = core.SLOObjectives
+
+	// Serve runs the online-service experiment: a resident instance
+	// per cluster size absorbing a sustained open-loop Poisson stream,
+	// reporting steady-state SLO compliance and the throughput ledger
+	// dacbench turns into wall-clock events/sec and jobs/sec series.
+	Serve                = core.Serve
+	ServeOne             = core.ServeOne
+	ServeTable           = core.ServeTable
+	ServeComplianceTable = core.ServeComplianceTable
+	ServeSizes           = core.ServeSizes
+	ServeRate            = core.ServeRate
 
 	AblationDynPriority          = core.AblationDynPriority
 	AblationCollectiveGet        = core.AblationCollectiveGet
